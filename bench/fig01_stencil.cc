@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The paper's §2 motivating claim: "Diffuse speeds this program up by
+ * four times" — the 5-point stencil of Fig 1 (FUSED_ADD_MULT + COPY
+ * instead of five element-wise tasks and their temporaries).
+ */
+
+#include <cmath>
+#include <memory>
+
+#include "harness.h"
+
+int
+main()
+{
+    using namespace bench;
+    const coord_t n0 = 6144; // grid edge at 1 GPU (square grid, so
+                             // weak scaling grows the edge as sqrt P)
+    sweepFusedUnfused(
+        "Fig 1 (motivation)",
+        "5-point stencil weak scaling (paper SS2 claims ~4x)",
+        [&](DiffuseRuntime &rt, int gpus) {
+            coord_t n = coord_t(double(n0) * std::sqrt(double(gpus)));
+            auto ctx = std::make_shared<num::Context>(rt);
+            auto app = std::make_shared<apps::Stencil>(*ctx, n);
+            return [ctx, app] { app->step(); };
+        });
+    return 0;
+}

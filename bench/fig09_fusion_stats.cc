@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Paper Fig 9 (table): index tasks per iteration with and without
+ * fusion, average unfused single-GPU task length, and the window size
+ * Diffuse selected, for every benchmark. Also prints the headline
+ * geo-mean fused-vs-unfused speedup at 8 GPUs (paper §7: 1.86x over
+ * the suite on up to 128 GPUs).
+ */
+
+#include <functional>
+#include <memory>
+
+#include "harness.h"
+
+namespace {
+
+using namespace bench;
+
+struct AppFactory
+{
+    std::string name;
+    /** Build the app and return its step function. */
+    std::function<std::function<void()>(DiffuseRuntime &, int gpus)>
+        make;
+    /** Solvers chain state across iterations: no per-iter flush. */
+    bool flushEveryIter = true;
+};
+
+std::vector<AppFactory>
+factories()
+{
+    std::vector<AppFactory> out;
+    out.push_back(
+        {"Black-Scholes", [](DiffuseRuntime &rt, int) {
+             auto ctx = std::make_shared<num::Context>(rt);
+             auto app = std::make_shared<apps::BlackScholes>(
+                 *ctx, coord_t(1) << 26);
+             return std::function<void()>([ctx, app] { app->step(); });
+         }});
+    out.push_back({"Jacobi", [](DiffuseRuntime &rt, int gpus) {
+                       coord_t n = coord_t(
+                           32768.0 * std::sqrt(double(gpus)));
+                       auto ctx = std::make_shared<num::Context>(rt);
+                       auto app =
+                           std::make_shared<apps::Jacobi>(*ctx, n);
+                       return std::function<void()>(
+                           [ctx, app] { app->step(); });
+                   }});
+    out.push_back(
+        {"CG", [](DiffuseRuntime &rt, int gpus) {
+             auto ctx = std::make_shared<num::Context>(rt);
+             auto sctx = std::make_shared<sp::SparseContext>(*ctx);
+             auto sol = std::make_shared<solvers::SolverContext>(
+                 *ctx, *sctx);
+             coord_t rows = (coord_t(1) << 27) * gpus;
+             auto a = std::make_shared<sp::CsrMatrix>(
+                 sctx->poisson2d(4096, rows / 4096));
+             auto b = std::make_shared<num::NDArray>(
+                 ctx->zeros(rows, 1.0));
+             rt.flushWindow();
+             return std::function<void()>([ctx, sctx, sol, a, b] {
+                 sol->cg(*a, *b, 1);
+             });
+         },
+         /*flushEveryIter=*/false});
+    out.push_back(
+        {"BiCGSTAB", [](DiffuseRuntime &rt, int gpus) {
+             auto ctx = std::make_shared<num::Context>(rt);
+             auto sctx = std::make_shared<sp::SparseContext>(*ctx);
+             auto sol = std::make_shared<solvers::SolverContext>(
+                 *ctx, *sctx);
+             coord_t rows = (coord_t(1) << 27) * gpus;
+             auto a = std::make_shared<sp::CsrMatrix>(
+                 sctx->poisson2d(4096, rows / 4096));
+             auto b = std::make_shared<num::NDArray>(
+                 ctx->zeros(rows, 1.0));
+             rt.flushWindow();
+             return std::function<void()>([ctx, sctx, sol, a, b] {
+                 sol->bicgstab(*a, *b, 1);
+             });
+         },
+         /*flushEveryIter=*/false});
+    out.push_back(
+        {"GMG", [](DiffuseRuntime &rt, int gpus) {
+             auto ctx = std::make_shared<num::Context>(rt);
+             auto sctx = std::make_shared<sp::SparseContext>(*ctx);
+             auto sol = std::make_shared<solvers::SolverContext>(
+                 *ctx, *sctx);
+             coord_t rows = (coord_t(1) << 27) * gpus;
+             auto hier = std::make_shared<solvers::GmgHierarchy>(
+                 sol->buildHierarchy1d(rows, 4));
+             auto b = std::make_shared<num::NDArray>(
+                 ctx->zeros(rows, 1.0));
+             rt.flushWindow();
+             return std::function<void()>([ctx, sctx, sol, hier, b] {
+                 sol->gmgPcg(*hier, *b, 1);
+             });
+         },
+         /*flushEveryIter=*/false});
+    out.push_back(
+        {"CFD", [](DiffuseRuntime &rt, int gpus) {
+             auto ctx = std::make_shared<num::Context>(rt);
+             auto app = std::make_shared<apps::Cfd>(
+                 *ctx, 8192, coord_t(2048) * gpus, 10);
+             return std::function<void()>([ctx, app] { app->step(); });
+         }});
+    out.push_back(
+        {"TorchSWE", [](DiffuseRuntime &rt, int gpus) {
+             coord_t n =
+                 coord_t(4096.0 * std::sqrt(double(gpus)));
+             auto ctx = std::make_shared<num::Context>(rt);
+             auto app = std::make_shared<apps::ShallowWater>(
+                 *ctx, n, apps::ShallowWater::Variant::Natural);
+             return std::function<void()>([ctx, app] { app->step(); });
+         }});
+    return out;
+}
+
+struct FusionRow
+{
+    double tasksPerIter = 0.0;
+    double tasksPerIterFused = 0.0;
+    double avgTaskMs = 0.0;
+    int windowSize = 0;
+    double speedup = 0.0;
+};
+
+FusionRow
+measure(const AppFactory &app)
+{
+    const int gpus = 8;
+    const int warmup = 3, iters = 4;
+    FusionRow row;
+    double rate[2] = {0.0, 0.0};
+    for (bool fused : {true, false}) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(gpus),
+                          simOptions(fused));
+        auto step = app.make(rt, gpus);
+        for (int i = 0; i < warmup; i++) {
+            step();
+            rt.flushWindow();
+        }
+        rt.fusionStats().reset();
+        double t0 = rt.runtimeStats().simTime;
+        for (int i = 0; i < iters; i++) {
+            step();
+            if (app.flushEveryIter)
+                rt.flushWindow();
+        }
+        rt.flushWindow();
+        double dt = rt.runtimeStats().simTime - t0;
+        rate[fused ? 0 : 1] = iters / dt;
+        if (fused) {
+            row.tasksPerIter =
+                double(rt.fusionStats().tasksSubmitted) / iters;
+            row.tasksPerIterFused =
+                double(rt.fusionStats().groupsLaunched) / iters;
+            row.windowSize = rt.fusionStats().windowSize;
+        }
+    }
+    row.speedup = rate[0] / rate[1];
+
+    // Average unfused task length on a single GPU (paper's metric).
+    {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(1),
+                          simOptions(false));
+        auto step = app.make(rt, 1);
+        step();
+        rt.flushWindow();
+        rt.runtimeStats().reset();
+        for (int i = 0; i < 2; i++)
+            step();
+        rt.flushWindow();
+        row.avgTaskMs = 1e3 * rt.runtimeStats().computeTime /
+                        double(rt.runtimeStats().indexTasks);
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bench;
+    std::printf("# Fig 9 (table) — tasks per iteration with and "
+                "without fusion (8 GPUs)\n");
+    std::printf("# window size selected automatically by Diffuse; "
+                "task length from unfused 1-GPU runs\n");
+    std::printf("%-14s %12s %14s %14s %10s %10s\n", "benchmark",
+                "tasks/iter", "fused t/iter", "avg task (ms)",
+                "window", "speedup");
+    std::vector<double> speedups;
+    for (const AppFactory &app : factories()) {
+        FusionRow row = measure(app);
+        speedups.push_back(row.speedup);
+        std::printf("%-14s %12.1f %14.1f %14.2f %10d %9.2fx\n",
+                    app.name.c_str(), row.tasksPerIter,
+                    row.tasksPerIterFused, row.avgTaskMs,
+                    row.windowSize, row.speedup);
+    }
+    std::printf("# headline geo-mean fused speedup (8 GPUs): %.2fx "
+                "(paper: 1.86x over its suite)\n\n",
+                bench::geoMean(speedups));
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Paper Fig 10a: Black-Scholes weak scaling, fused vs unfused.
+ * Expected shape: fused throughput roughly flat and several times the
+ * unfused line; the gap widens with scale as per-task runtime
+ * overheads grow (paper: 10.7x at 128 GPUs).
+ */
+
+#include <memory>
+
+#include "harness.h"
+
+int
+main()
+{
+    using namespace bench;
+    const coord_t n_per_gpu = coord_t(1) << 26;
+    sweepFusedUnfused(
+        "Fig 10a", "Black-Scholes weak scaling (higher is better)",
+        [&](DiffuseRuntime &rt, int) {
+            auto ctx = std::make_shared<num::Context>(rt);
+            auto app = std::make_shared<apps::BlackScholes>(*ctx,
+                                                            n_per_gpu);
+            return [ctx, app] { app->step(); };
+        });
+    return 0;
+}

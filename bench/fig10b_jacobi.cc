@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Paper Fig 10b: dense Jacobi iteration weak scaling. Fusion has
+ * negligible effect (0.93x-1.08x in the paper): the opaque GEMV
+ * dominates and only two small vector ops fuse.
+ */
+
+#include <cmath>
+#include <memory>
+
+#include "harness.h"
+
+int
+main()
+{
+    using namespace bench;
+    // Weak scaling for a dense N x N matrix: per-GPU memory constant
+    // means N grows with sqrt(P).
+    const coord_t n0 = 1 << 15;
+    sweepFusedUnfused(
+        "Fig 10b", "Dense Jacobi weak scaling (higher is better)",
+        [&](DiffuseRuntime &rt, int gpus) {
+            coord_t n = coord_t(double(n0) * std::sqrt(double(gpus)));
+            auto ctx = std::make_shared<num::Context>(rt);
+            auto app = std::make_shared<apps::Jacobi>(*ctx, n);
+            return [ctx, app] { app->step(); };
+        });
+    return 0;
+}

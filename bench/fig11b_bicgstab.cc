@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Paper Fig 11b: BiCGSTAB weak scaling — Diffuse-fused, PETSc (with
+ * its hand-fused VecAXPBYPCZ kernels), and unfused. Paper: 1.31x over
+ * unfused and 1.15x over PETSc (geo-means).
+ */
+
+#include <memory>
+
+#include "harness.h"
+
+int
+main()
+{
+    using namespace bench;
+    const coord_t rows_per_gpu = coord_t(1) << 27;
+    const coord_t nx = 4096;
+    const int iters_per_step = 2;
+
+    printHeader("Fig 11b", "BiCGSTAB weak scaling (higher is better)",
+                {"fused it/s", "petsc it/s", "unfused it/s",
+                 "vs unfused", "vs petsc"});
+
+    std::vector<double> vs_unfused, vs_petsc;
+    for (int gpus : gpuSweep()) {
+        coord_t rows = rows_per_gpu * gpus;
+        coord_t ny = rows / nx;
+
+        auto run = [&](bool fused) {
+            DiffuseRuntime rt(rt::MachineConfig::withGpus(gpus),
+                              simOptions(fused));
+            num::Context ctx(rt);
+            sp::SparseContext sctx(ctx);
+            solvers::SolverContext sol(ctx, sctx);
+            sp::CsrMatrix a = sctx.poisson2d(nx, ny);
+            num::NDArray b = ctx.zeros(rows, 1.0);
+            rt.flushWindow();
+            auto step = [&] { sol.bicgstab(a, b, iters_per_step); };
+            Protocol proto;
+            proto.flushEveryIter = false;
+            return throughputOf(rt, step, proto) * iters_per_step;
+        };
+
+        double fused = run(true);
+        double unfused = run(false);
+
+        pmini::PetscRuntime prt(rt::MachineConfig::withGpus(gpus),
+                                pmini::Mode::Simulated);
+        pmini::Mat pa = pmini::Mat::poisson2d(prt, nx, ny);
+        pmini::Vec pb(prt, rows, 1.0), px(prt, rows);
+        double petsc = petscThroughputOf(prt, [&] {
+            pmini::KspBiCgStab(prt, pa, pb, px, iters_per_step);
+        }) * iters_per_step;
+
+        vs_unfused.push_back(fused / unfused);
+        vs_petsc.push_back(fused / petsc);
+        printRow(gpus,
+                 {fused, petsc, unfused, fused / unfused,
+                  fused / petsc});
+    }
+    std::printf("# geo-mean: %.3fx vs unfused, %.3fx vs PETSc\n\n",
+                geoMean(vs_unfused), geoMean(vs_petsc));
+    return 0;
+}

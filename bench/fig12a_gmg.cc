@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Paper Fig 12a: geometric multigrid (V-cycle preconditioned CG) weak
+ * scaling. Paper reports a 1.2x fused speedup.
+ */
+
+#include <memory>
+
+#include "harness.h"
+
+int
+main()
+{
+    using namespace bench;
+    const coord_t rows_per_gpu = coord_t(1) << 26;
+    const int levels = 4;
+
+    sweepFusedUnfused(
+        "Fig 12a", "GMG (V-cycle PCG) weak scaling (higher is better)",
+        [&](DiffuseRuntime &rt, int gpus) {
+            auto ctx = std::make_shared<num::Context>(rt);
+            auto sctx = std::make_shared<sp::SparseContext>(*ctx);
+            auto sol = std::make_shared<solvers::SolverContext>(*ctx,
+                                                                *sctx);
+            coord_t rows = rows_per_gpu * gpus;
+            auto hier = std::make_shared<solvers::GmgHierarchy>(
+                sol->buildHierarchy1d(rows, levels));
+            auto b = std::make_shared<num::NDArray>(
+                ctx->zeros(rows, 1.0));
+            rt.flushWindow();
+            return [ctx, sctx, sol, hier, b] {
+                sol->gmgPcg(*hier, *b, 1);
+            };
+        },
+        [] {
+            Protocol proto;
+            proto.flushEveryIter = false; // solver state chains on
+            return proto;
+        }());
+    return 0;
+}

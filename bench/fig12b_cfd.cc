@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Paper Fig 12b: CFD channel flow weak scaling. Expected shape:
+ * 1.8x-2.3x fused speedup, with the largest speedup on a single GPU
+ * where unpartitioned data admits longer fusible chains.
+ */
+
+#include <memory>
+
+#include "harness.h"
+
+int
+main()
+{
+    using namespace bench;
+    const coord_t nx = 8192;
+    const coord_t ny_per_gpu = 2048;
+    Protocol proto;
+    proto.warmup = 2;
+    proto.itersPerRun = 2;
+    proto.runs = 12;
+    sweepFusedUnfused(
+        "Fig 12b", "CFD channel flow weak scaling (higher is better)",
+        [&](DiffuseRuntime &rt, int gpus) {
+            auto ctx = std::make_shared<num::Context>(rt);
+            auto app = std::make_shared<apps::Cfd>(
+                *ctx, nx, ny_per_gpu * gpus, /*pressure_iters=*/10);
+            return [ctx, app] { app->step(); };
+        },
+        proto);
+    return 0;
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Paper Fig 13 (table): warmup time with and without JIT compilation
+ * on 8 GPUs, and the number of iterations needed for the fused
+ * version (including compile time) to overtake the unfused version.
+ * Compile cost = measured pass-pipeline wall time + the modeled
+ * backend codegen stand-in (see DESIGN.md substitutions).
+ */
+
+#include <functional>
+#include <memory>
+
+#include "harness.h"
+
+namespace {
+
+using namespace bench;
+
+struct Workload
+{
+    std::string name;
+    std::function<std::function<void()>(DiffuseRuntime &)> make;
+};
+
+std::vector<Workload>
+workloads()
+{
+    std::vector<Workload> out;
+    out.push_back({"Black-Scholes", [](DiffuseRuntime &rt) {
+                       auto ctx = std::make_shared<num::Context>(rt);
+                       auto app =
+                           std::make_shared<apps::BlackScholes>(
+                               *ctx, coord_t(1) << 26);
+                       return std::function<void()>(
+                           [ctx, app] { app->step(); });
+                   }});
+    out.push_back({"Jacobi", [](DiffuseRuntime &rt) {
+                       auto ctx = std::make_shared<num::Context>(rt);
+                       auto app = std::make_shared<apps::Jacobi>(
+                           *ctx, coord_t(92681));
+                       return std::function<void()>(
+                           [ctx, app] { app->step(); });
+                   }});
+    out.push_back(
+        {"CG", [](DiffuseRuntime &rt) {
+             auto ctx = std::make_shared<num::Context>(rt);
+             auto sctx = std::make_shared<sp::SparseContext>(*ctx);
+             auto sol = std::make_shared<solvers::SolverContext>(
+                 *ctx, *sctx);
+             coord_t rows = (coord_t(1) << 27) * 8;
+             auto a = std::make_shared<sp::CsrMatrix>(
+                 sctx->poisson2d(4096, rows / 4096));
+             auto b = std::make_shared<num::NDArray>(
+                 ctx->zeros(rows, 1.0));
+             rt.flushWindow();
+             return std::function<void()>(
+                 [ctx, sctx, sol, a, b] { sol->cg(*a, *b, 1); });
+         }});
+    out.push_back(
+        {"BiCGSTAB", [](DiffuseRuntime &rt) {
+             auto ctx = std::make_shared<num::Context>(rt);
+             auto sctx = std::make_shared<sp::SparseContext>(*ctx);
+             auto sol = std::make_shared<solvers::SolverContext>(
+                 *ctx, *sctx);
+             coord_t rows = (coord_t(1) << 27) * 8;
+             auto a = std::make_shared<sp::CsrMatrix>(
+                 sctx->poisson2d(4096, rows / 4096));
+             auto b = std::make_shared<num::NDArray>(
+                 ctx->zeros(rows, 1.0));
+             rt.flushWindow();
+             return std::function<void()>([ctx, sctx, sol, a, b] {
+                 sol->bicgstab(*a, *b, 1);
+             });
+         }});
+    out.push_back(
+        {"GMG", [](DiffuseRuntime &rt) {
+             auto ctx = std::make_shared<num::Context>(rt);
+             auto sctx = std::make_shared<sp::SparseContext>(*ctx);
+             auto sol = std::make_shared<solvers::SolverContext>(
+                 *ctx, *sctx);
+             coord_t rows = (coord_t(1) << 27) * 8;
+             auto hier = std::make_shared<solvers::GmgHierarchy>(
+                 sol->buildHierarchy1d(rows, 4));
+             auto b = std::make_shared<num::NDArray>(
+                 ctx->zeros(rows, 1.0));
+             rt.flushWindow();
+             return std::function<void()>([ctx, sctx, sol, hier, b] {
+                 sol->gmgPcg(*hier, *b, 1);
+             });
+         }});
+    out.push_back({"CFD", [](DiffuseRuntime &rt) {
+                       auto ctx = std::make_shared<num::Context>(rt);
+                       auto app = std::make_shared<apps::Cfd>(
+                           *ctx, 8192, 2048 * 8, 10);
+                       return std::function<void()>(
+                           [ctx, app] { app->step(); });
+                   }});
+    out.push_back(
+        {"TorchSWE", [](DiffuseRuntime &rt) {
+             auto ctx = std::make_shared<num::Context>(rt);
+             auto app = std::make_shared<apps::ShallowWater>(
+                 *ctx, coord_t(11585),
+                 apps::ShallowWater::Variant::Natural);
+             return std::function<void()>(
+                 [ctx, app] { app->step(); });
+         }});
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bench;
+    const int gpus = 8;
+    const int warmup_iters = 3;
+    std::printf("# Fig 13 (table) — warmup times on 8 GPUs and "
+                "iterations to amortize compilation\n");
+    std::printf("%-14s %13s %13s %20s\n", "benchmark", "standard (s)",
+                "compiled (s)", "breakeven iters");
+    for (const Workload &w : workloads()) {
+        // Standard: warmup simulated time without Diffuse.
+        double standard;
+        {
+            DiffuseRuntime rt(rt::MachineConfig::withGpus(gpus),
+                              simOptions(false));
+            auto step = w.make(rt);
+            for (int i = 0; i < warmup_iters; i++)
+                step();
+            rt.flushWindow();
+            standard = rt.runtimeStats().simTime;
+        }
+        // Compiled: warmup including JIT compilation (measured pass
+        // time + modeled backend), plus steady-state rates for the
+        // breakeven computation.
+        double compiled, fused_iter, unfused_iter;
+        {
+            DiffuseRuntime rt(rt::MachineConfig::withGpus(gpus),
+                              simOptions(true));
+            auto step = w.make(rt);
+            for (int i = 0; i < warmup_iters; i++)
+                step();
+            rt.flushWindow();
+            compiled = rt.runtimeStats().simTime +
+                       rt.compilerStats().modeledSeconds;
+            double t0 = rt.runtimeStats().simTime;
+            for (int i = 0; i < 4; i++)
+                step();
+            rt.flushWindow();
+            fused_iter = (rt.runtimeStats().simTime - t0) / 4.0;
+        }
+        {
+            DiffuseRuntime rt(rt::MachineConfig::withGpus(gpus),
+                              simOptions(false));
+            auto step = w.make(rt);
+            for (int i = 0; i < warmup_iters; i++)
+                step();
+            rt.flushWindow();
+            double t0 = rt.runtimeStats().simTime;
+            for (int i = 0; i < 4; i++)
+                step();
+            rt.flushWindow();
+            unfused_iter = (rt.runtimeStats().simTime - t0) / 4.0;
+        }
+        double savings = unfused_iter - fused_iter;
+        double breakeven =
+            savings > 0 ? (compiled - standard) / savings : -1.0;
+        if (breakeven <= 0.0)
+            std::printf("%-14s %13.3f %13.3f %20s\n", w.name.c_str(),
+                        standard, compiled, "N/A");
+        else
+            std::printf("%-14s %13.3f %13.3f %20.1f\n",
+                        w.name.c_str(), standard, compiled,
+                        breakeven);
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Shared benchmark harness: weak-scaling sweeps over GPU counts with
+ * the paper's measurement protocol (§7: 12 runs, drop the fastest and
+ * slowest, average the remaining 10; warmup iterations excluded).
+ *
+ * Sweeps run in Simulated execution mode — numerics are validated by
+ * the test suite in Real mode; scaling studies only exercise the
+ * (identical) cost model. Every binary prints the machine parameters
+ * it used, and the rows/series mirror the corresponding paper figure.
+ */
+
+#ifndef DIFFUSE_BENCH_HARNESS_H
+#define DIFFUSE_BENCH_HARNESS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "petsc/petsc.h"
+#include "solvers/solvers.h"
+
+namespace bench {
+
+using namespace diffuse;
+
+inline std::vector<int>
+gpuSweep()
+{
+    return {1, 2, 4, 8, 16, 32, 64, 128};
+}
+
+struct Protocol
+{
+    int warmup = 2;
+    int itersPerRun = 3;
+    int runs = 12;
+    /**
+     * Flush the window at every iteration boundary. True for apps
+     * whose per-iteration outputs are consumed each iteration (the
+     * paper's timing harness synchronizes there; without the sync
+     * Diffuse legitimately dead-code-eliminates unconsumed
+     * iterations). False for solvers, whose state chains across
+     * iterations — the paper notes CG fuses across iteration
+     * boundaries.
+     */
+    bool flushEveryIter = true;
+};
+
+inline DiffuseOptions
+simOptions(bool fused)
+{
+    DiffuseOptions o;
+    o.fusionEnabled = fused;
+    o.mode = rt::ExecutionMode::Simulated;
+    return o;
+}
+
+/** Trimmed mean per the paper's protocol. */
+inline double
+trimmedMean(std::vector<double> rates)
+{
+    std::sort(rates.begin(), rates.end());
+    double sum = 0.0;
+    for (std::size_t i = 1; i + 1 < rates.size(); i++)
+        sum += rates[i];
+    return sum / double(rates.size() - 2);
+}
+
+/** Iterations/second of `step` under the protocol. */
+inline double
+throughputOf(DiffuseRuntime &rt, const std::function<void()> &step,
+             const Protocol &proto = Protocol())
+{
+    for (int i = 0; i < proto.warmup; i++) {
+        step();
+        rt.flushWindow();
+    }
+    std::vector<double> rates;
+    for (int r = 0; r < proto.runs; r++) {
+        double t0 = rt.runtimeStats().simTime;
+        for (int i = 0; i < proto.itersPerRun; i++) {
+            step();
+            if (proto.flushEveryIter)
+                rt.flushWindow();
+        }
+        rt.flushWindow();
+        double dt = rt.runtimeStats().simTime - t0;
+        rates.push_back(double(proto.itersPerRun) / dt);
+    }
+    return trimmedMean(rates);
+}
+
+/** Same protocol for the petsc-mini baseline. */
+inline double
+petscThroughputOf(pmini::PetscRuntime &rt,
+                  const std::function<void()> &step,
+                  const Protocol &proto = Protocol())
+{
+    for (int i = 0; i < proto.warmup; i++)
+        step();
+    std::vector<double> rates;
+    for (int r = 0; r < proto.runs; r++) {
+        double t0 = rt.stats().simTime;
+        for (int i = 0; i < proto.itersPerRun; i++)
+            step();
+        double dt = rt.stats().simTime - t0;
+        rates.push_back(double(proto.itersPerRun) / dt);
+    }
+    return trimmedMean(rates);
+}
+
+inline void
+printHeader(const std::string &figure, const std::string &title,
+            const std::vector<std::string> &series)
+{
+    rt::MachineConfig probe;
+    std::printf("# %s — %s\n", figure.c_str(), title.c_str());
+    std::printf("# machine: %s\n", probe.toString().c_str());
+    std::printf("# protocol: 12 runs, trimmed mean, warmup excluded; "
+                "weak scaling (constant work per GPU)\n");
+    std::printf("%-6s", "gpus");
+    for (const auto &s : series)
+        std::printf(" %14s", s.c_str());
+    std::printf("\n");
+}
+
+inline void
+printRow(int gpus, const std::vector<double> &values)
+{
+    std::printf("%-6d", gpus);
+    for (double v : values)
+        std::printf(" %14.3f", v);
+    std::printf("\n");
+}
+
+inline double
+geoMean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / double(values.size()));
+}
+
+/** Run a fused-vs-unfused weak-scaling sweep of an app factory. */
+template <typename MakeStep>
+inline void
+sweepFusedUnfused(const std::string &figure, const std::string &title,
+                  MakeStep &&make_step,
+                  const Protocol &proto = Protocol())
+{
+    printHeader(figure, title,
+                {"fused it/s", "unfused it/s", "speedup"});
+    std::vector<double> speedups;
+    for (int gpus : gpuSweep()) {
+        double rates[2];
+        for (bool fused : {true, false}) {
+            DiffuseRuntime rt(rt::MachineConfig::withGpus(gpus),
+                              simOptions(fused));
+            std::function<void()> step = make_step(rt, gpus);
+            rates[fused ? 0 : 1] = throughputOf(rt, step, proto);
+        }
+        speedups.push_back(rates[0] / rates[1]);
+        printRow(gpus, {rates[0], rates[1], rates[0] / rates[1]});
+    }
+    std::printf("# geo-mean speedup: %.3fx\n\n", geoMean(speedups));
+}
+
+} // namespace bench
+
+#endif // DIFFUSE_BENCH_HARNESS_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The paper's motivating example (Fig 1): a 5-point stencil over
+ * aliasing views of one distributed grid. Diffuse fuses the four adds
+ * and the scale into FUSED_ADD_MULT, keeps the COPY separate (the
+ * anti-dependence on the grid views), and eliminates the temporary
+ * sum arrays.
+ */
+
+#include <cstdio>
+
+#include "apps/apps.h"
+
+using namespace diffuse;
+
+int
+main()
+{
+    DiffuseRuntime runtime(rt::MachineConfig::withGpus(4),
+                           DiffuseOptions{});
+    num::Context np(runtime);
+
+    const coord_t n = 256;
+    apps::Stencil stencil(np, n);
+
+    const int iters = 10;
+    for (int i = 0; i < iters; i++) {
+        stencil.step();
+        runtime.flushWindow();
+    }
+
+    const FusionStats &fs = runtime.fusionStats();
+    std::printf("iterations              = %d\n", iters);
+    std::printf("tasks submitted         = %llu (6 per iteration)\n",
+                (unsigned long long)fs.tasksSubmitted);
+    std::printf("index tasks launched    = %llu (2 per iteration: "
+                "FUSED_ADD_MULT + COPY)\n",
+                (unsigned long long)fs.groupsLaunched);
+    std::printf("temporaries eliminated  = %llu\n",
+                (unsigned long long)fs.tempsEliminated);
+    std::printf("anti-dependence breaks  = %llu\n",
+                (unsigned long long)
+                    fs.blocks[std::size_t(FusionBlock::AntiDependence)]);
+
+    // Show a corner of the grid so the math visibly ran.
+    auto grid = np.toHost(stencil.grid());
+    std::printf("grid[1][1..4] after %d iterations: %.4f %.4f %.4f\n",
+                iters, grid[(n + 2) + 1], grid[(n + 2) + 2],
+                grid[(n + 2) + 3]);
+    return 0;
+}

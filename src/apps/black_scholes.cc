@@ -1,0 +1,89 @@
+#include "apps.h"
+
+#include <cmath>
+
+namespace diffuse {
+namespace apps {
+
+BlackScholes::BlackScholes(num::Context &ctx, coord_t n_per_gpu)
+    : ctx_(ctx)
+{
+    coord_t n = n_per_gpu * ctx.procs();
+    s_ = ctx.random(n, 101, 10.0, 100.0);  // spot
+    k_ = ctx.random(n, 102, 10.0, 100.0);  // strike
+    t_ = ctx.random(n, 103, 0.25, 2.0);    // expiry
+    ctx.runtime().flushWindow();
+}
+
+void
+BlackScholes::step()
+{
+    num::Context &np = ctx_;
+    const double r = RATE;
+    const double v = VOLATILITY;
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+
+    // d1 = (log(S/K) + (r + v^2/2) T) / (v sqrt(T)); d2 = d1 - v sqrt(T)
+    num::NDArray ratio = np.div(s_, k_);
+    num::NDArray lg = np.log(ratio);
+    num::NDArray drift = np.mulScalar(r + 0.5 * v * v, t_);
+    num::NDArray numer = np.add(lg, drift);
+    num::NDArray sqrt_t = np.sqrt(t_);
+    num::NDArray vst = np.mulScalar(v, sqrt_t);
+    num::NDArray d1 = np.div(numer, vst);
+    num::NDArray d2 = np.sub(d1, vst);
+
+    // N(x) = 0.5 (1 + erf(x / sqrt(2))).
+    auto cnd = [&](const num::NDArray &x) {
+        num::NDArray scaled = np.mulScalar(inv_sqrt2, x);
+        num::NDArray e = np.erf(scaled);
+        num::NDArray half = np.mulScalar(0.5, e);
+        return np.addScalar(half, 0.5);
+    };
+    num::NDArray nd1 = cnd(d1);
+    num::NDArray nd2 = cnd(d2);
+
+    // Discounted strike K e^{-rT}.
+    num::NDArray rt = np.mulScalar(-r, t_);
+    num::NDArray disc = np.exp(rt);
+    num::NDArray kd = np.mul(k_, disc);
+
+    // call = S N(d1) - K e^{-rT} N(d2).
+    num::NDArray term1 = np.mul(s_, nd1);
+    num::NDArray term2 = np.mul(kd, nd2);
+    call_ = np.sub(term1, term2);
+
+    // put = K e^{-rT} N(-d2) - S N(-d1), with N(-x) = 1 - N(x).
+    num::NDArray nd1m = np.addScalar(np.neg(nd1), 1.0);
+    num::NDArray nd2m = np.addScalar(np.neg(nd2), 1.0);
+    num::NDArray pterm1 = np.mul(kd, nd2m);
+    num::NDArray pterm2 = np.mul(s_, nd1m);
+    put_ = np.sub(pterm1, pterm2);
+}
+
+void
+BlackScholes::reference(const std::vector<double> &s,
+                        const std::vector<double> &k,
+                        const std::vector<double> &t, double r,
+                        double vol, std::vector<double> &call,
+                        std::vector<double> &put)
+{
+    auto cnd = [](double x) {
+        return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0)));
+    };
+    call.resize(s.size());
+    put.resize(s.size());
+    for (std::size_t i = 0; i < s.size(); i++) {
+        double vst = vol * std::sqrt(t[i]);
+        double d1 =
+            (std::log(s[i] / k[i]) + (r + 0.5 * vol * vol) * t[i]) /
+            vst;
+        double d2 = d1 - vst;
+        double kd = k[i] * std::exp(-r * t[i]);
+        call[i] = s[i] * cnd(d1) - kd * cnd(d2);
+        put[i] = kd * (1.0 - cnd(d2)) - s[i] * (1.0 - cnd(d1));
+    }
+}
+
+} // namespace apps
+} // namespace diffuse

@@ -1,0 +1,115 @@
+#include "apps.h"
+
+namespace diffuse {
+namespace apps {
+
+Cfd::Cfd(num::Context &ctx, coord_t nx, coord_t ny, int pressure_iters)
+    : ctx_(ctx), nx_(nx), ny_(ny), nit_(pressure_iters)
+{
+    dx_ = 2.0 / double(nx - 1);
+    dy_ = 2.0 / double(ny - 1);
+    dt_ = 0.001;
+    rho_ = 1.0;
+    nu_ = 0.1;
+    u_ = ctx.random2d(ny, nx, 401, 0.0, 0.1);
+    v_ = ctx.random2d(ny, nx, 402, 0.0, 0.1);
+    p_ = ctx.zeros2d(ny, nx);
+    ctx.runtime().flushWindow();
+}
+
+num::NDArray
+Cfd::interior(const num::NDArray &a) const
+{
+    return a.slice2d(1, ny_ - 1, 1, nx_ - 1);
+}
+
+void
+Cfd::step()
+{
+    num::Context &np = ctx_;
+    // Shifted views of the velocity and pressure fields, the CFD
+    // Python idiom (u[1:-1, 2:], etc.).
+    auto views = [this](const num::NDArray &a) {
+        struct V
+        {
+            num::NDArray c, e, w, n, s;
+        } v;
+        v.c = a.slice2d(1, ny_ - 1, 1, nx_ - 1);
+        v.e = a.slice2d(1, ny_ - 1, 2, nx_);
+        v.w = a.slice2d(1, ny_ - 1, 0, nx_ - 2);
+        v.n = a.slice2d(2, ny_, 1, nx_ - 1);
+        v.s = a.slice2d(0, ny_ - 2, 1, nx_ - 1);
+        return v;
+    };
+
+    auto uv = views(u_);
+    auto vv = views(v_);
+
+    // ---- Source term b of the pressure Poisson equation.
+    num::NDArray dudx =
+        np.mulScalar(1.0 / (2.0 * dx_), np.sub(uv.e, uv.w));
+    num::NDArray dvdy =
+        np.mulScalar(1.0 / (2.0 * dy_), np.sub(vv.n, vv.s));
+    num::NDArray divergence = np.add(dudx, dvdy);
+    num::NDArray db = np.mulScalar(1.0 / dt_, divergence);
+    num::NDArray du2 = np.mul(dudx, dudx);
+    num::NDArray dv2 = np.mul(dvdy, dvdy);
+    num::NDArray cross = np.mulScalar(2.0, np.mul(dudx, dvdy));
+    num::NDArray nonlin = np.add(np.add(du2, cross), dv2);
+    num::NDArray b = np.mulScalar(rho_, np.sub(db, nonlin));
+
+    // ---- Iterative pressure Poisson solve over aliasing views of p.
+    double denom = 2.0 * (dx_ * dx_ + dy_ * dy_);
+    for (int q = 0; q < nit_; q++) {
+        auto pv = views(p_);
+        num::NDArray px =
+            np.mulScalar(dy_ * dy_ / denom, np.add(pv.e, pv.w));
+        num::NDArray py =
+            np.mulScalar(dx_ * dx_ / denom, np.add(pv.n, pv.s));
+        num::NDArray psum = np.add(px, py);
+        num::NDArray bterm =
+            np.mulScalar(dx_ * dx_ * dy_ * dy_ / denom, b);
+        num::NDArray pnew = np.sub(psum, bterm);
+        np.assign(pv.c, pnew);
+    }
+
+    // ---- Velocity update: advection + pressure gradient + viscosity.
+    auto pv = views(p_);
+    auto advect = [&](const decltype(uv) &f, const num::NDArray &vel_u,
+                      const num::NDArray &vel_v) {
+        num::NDArray ax =
+            np.mul(vel_u, np.mulScalar(dt_ / dx_, np.sub(f.c, f.w)));
+        num::NDArray ay =
+            np.mul(vel_v, np.mulScalar(dt_ / dy_, np.sub(f.c, f.s)));
+        return np.add(ax, ay);
+    };
+    auto diffuse_term = [&](const decltype(uv) &f) {
+        num::NDArray lx = np.mulScalar(
+            nu_ * dt_ / (dx_ * dx_),
+            np.sub(np.add(f.e, f.w), np.mulScalar(2.0, f.c)));
+        num::NDArray ly = np.mulScalar(
+            nu_ * dt_ / (dy_ * dy_),
+            np.sub(np.add(f.n, f.s), np.mulScalar(2.0, f.c)));
+        return np.add(lx, ly);
+    };
+
+    num::NDArray u_adv = advect(uv, uv.c, vv.c);
+    num::NDArray u_pres = np.mulScalar(dt_ / (2.0 * rho_ * dx_),
+                                       np.sub(pv.e, pv.w));
+    num::NDArray u_visc = diffuse_term(uv);
+    num::NDArray u_new = np.add(
+        np.sub(np.sub(uv.c, u_adv), u_pres), u_visc);
+
+    num::NDArray v_adv = advect(vv, uv.c, vv.c);
+    num::NDArray v_pres = np.mulScalar(dt_ / (2.0 * rho_ * dy_),
+                                       np.sub(pv.n, pv.s));
+    num::NDArray v_visc = diffuse_term(vv);
+    num::NDArray v_new = np.add(
+        np.sub(np.sub(vv.c, v_adv), v_pres), v_visc);
+
+    np.assign(uv.c, u_new);
+    np.assign(vv.c, v_new);
+}
+
+} // namespace apps
+} // namespace diffuse

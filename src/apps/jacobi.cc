@@ -1,0 +1,45 @@
+#include "apps.h"
+
+
+#include <cmath>
+namespace diffuse {
+namespace apps {
+
+Jacobi::Jacobi(num::Context &ctx, coord_t n) : ctx_(ctx)
+{
+    // Diagonally dominant system: R holds the off-diagonal part,
+    // dinv the inverted diagonal (host-assembled setup, like loading
+    // a problem; excluded from timing).
+    r_ = ctx.random2d(n, n, 201, -1.0, 1.0);
+    dinv_ = ctx.zeros(n);
+    b_ = ctx.random(n, 202, -1.0, 1.0);
+    x_ = ctx.zeros(n);
+
+    DiffuseRuntime &rt = ctx.runtime();
+    if (rt.low().mode() == rt::ExecutionMode::Real) {
+        double *rp = rt.low().dataF64(r_.store());
+        double *dp = rt.low().dataF64(dinv_.store());
+        for (coord_t i = 0; i < n; i++) {
+            double row_sum = 0.0;
+            for (coord_t j = 0; j < n; j++)
+                row_sum += std::abs(rp[i * n + j]);
+            rp[i * n + i] = 0.0; // R excludes the diagonal
+            dp[i] = 1.0 / (row_sum + 1.0);
+        }
+        rt.low().markInitialized(r_.store());
+        rt.low().markInitialized(dinv_.store());
+    }
+    rt.flushWindow();
+}
+
+void
+Jacobi::step()
+{
+    // x = (b - R x) * dinv: one GEMV and two fusible vector ops.
+    num::NDArray t = ctx_.matvec(r_, x_);
+    num::NDArray s = ctx_.sub(b_, t);
+    x_ = ctx_.mul(s, dinv_);
+}
+
+} // namespace apps
+} // namespace diffuse

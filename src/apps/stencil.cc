@@ -1,0 +1,29 @@
+#include "apps.h"
+
+namespace diffuse {
+namespace apps {
+
+Stencil::Stencil(num::Context &ctx, coord_t n) : ctx_(ctx)
+{
+    grid_ = ctx.random2d(n + 2, n + 2, 301);
+    center_ = grid_.slice2d(1, n + 1, 1, n + 1);
+    north_ = grid_.slice2d(0, n, 1, n + 1);
+    east_ = grid_.slice2d(1, n + 1, 2, n + 2);
+    west_ = grid_.slice2d(1, n + 1, 0, n);
+    south_ = grid_.slice2d(2, n + 2, 1, n + 1);
+    ctx.runtime().flushWindow();
+}
+
+void
+Stencil::step()
+{
+    // Paper Fig 1a lines 10-14, verbatim structure.
+    num::NDArray avg = ctx_.add(
+        ctx_.add(ctx_.add(ctx_.add(center_, north_), east_), west_),
+        south_);
+    num::NDArray work = ctx_.mulScalar(0.2, avg);
+    ctx_.assign(center_, work);
+}
+
+} // namespace apps
+} // namespace diffuse

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Integer geometry primitives shared by every layer of Diffuse.
+ *
+ * Points and rectangles describe store shapes, launch domains and tile
+ * bounds. Rectangles use an inclusive lower bound and an exclusive upper
+ * bound, so `volume()` is a simple product of extents and empty ranges are
+ * representable as `lo == hi`.
+ */
+
+#ifndef DIFFUSE_COMMON_GEOMETRY_H
+#define DIFFUSE_COMMON_GEOMETRY_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace diffuse {
+
+/** Coordinate type used for all index arithmetic. */
+using coord_t = long long;
+
+/** Maximum dimensionality supported by the IR (NumPy-style arrays). */
+constexpr int MAX_DIM = 4;
+
+/**
+ * An n-dimensional integer point. The dimensionality is carried at
+ * runtime; unused trailing coordinates are kept at zero so that equality
+ * and hashing can look at the whole array.
+ */
+struct Point
+{
+    int dim = 0;
+    std::array<coord_t, MAX_DIM> c{};
+
+    Point() = default;
+
+    /** Construct a 1-D point. */
+    explicit Point(coord_t x) : dim(1) { c[0] = x; }
+
+    /** Construct a 2-D point. */
+    Point(coord_t x, coord_t y) : dim(2)
+    {
+        c[0] = x;
+        c[1] = y;
+    }
+
+    /** Construct a 3-D point. */
+    Point(coord_t x, coord_t y, coord_t z) : dim(3)
+    {
+        c[0] = x;
+        c[1] = y;
+        c[2] = z;
+    }
+
+    /** A point of the given dimensionality with every coordinate zero. */
+    static Point
+    zero(int d)
+    {
+        Point p;
+        p.dim = d;
+        return p;
+    }
+
+    /** A point of the given dimensionality with every coordinate one. */
+    static Point
+    one(int d)
+    {
+        Point p;
+        p.dim = d;
+        for (int i = 0; i < d; i++)
+            p.c[i] = 1;
+        return p;
+    }
+
+    coord_t &operator[](int i) { return c[i]; }
+    coord_t operator[](int i) const { return c[i]; }
+
+    bool
+    operator==(const Point &o) const
+    {
+        return dim == o.dim && c == o.c;
+    }
+
+    bool operator!=(const Point &o) const { return !(*this == o); }
+
+    Point
+    operator+(const Point &o) const
+    {
+        Point r = *this;
+        for (int i = 0; i < dim; i++)
+            r.c[i] += o.c[i];
+        return r;
+    }
+
+    Point
+    operator-(const Point &o) const
+    {
+        Point r = *this;
+        for (int i = 0; i < dim; i++)
+            r.c[i] -= o.c[i];
+        return r;
+    }
+
+    /** Element-wise product, used by tile-bound computations. */
+    Point
+    operator*(const Point &o) const
+    {
+        Point r = *this;
+        for (int i = 0; i < dim; i++)
+            r.c[i] *= o.c[i];
+        return r;
+    }
+
+    /** Product of all coordinates; the volume of a shape. */
+    coord_t
+    volume() const
+    {
+        coord_t v = 1;
+        for (int i = 0; i < dim; i++)
+            v *= c[i];
+        return v;
+    }
+
+    std::string
+    toString() const
+    {
+        std::ostringstream ss;
+        ss << "(";
+        for (int i = 0; i < dim; i++) {
+            if (i)
+                ss << ",";
+            ss << c[i];
+        }
+        ss << ")";
+        return ss.str();
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Point &p)
+{
+    return os << p.toString();
+}
+
+/**
+ * A half-open rectangle [lo, hi). Empty if any extent is non-positive.
+ */
+struct Rect
+{
+    Point lo;
+    Point hi;
+
+    Rect() = default;
+    Rect(const Point &l, const Point &h) : lo(l), hi(h) {}
+
+    /** The rectangle [0, shape) of the same dimensionality as `shape`. */
+    static Rect
+    fromShape(const Point &shape)
+    {
+        return Rect(Point::zero(shape.dim), shape);
+    }
+
+    int dim() const { return lo.dim; }
+
+    bool
+    empty() const
+    {
+        for (int i = 0; i < dim(); i++) {
+            if (hi[i] <= lo[i])
+                return true;
+        }
+        return dim() == 0;
+    }
+
+    /** Number of points contained; zero when empty. */
+    coord_t
+    volume() const
+    {
+        if (empty())
+            return 0;
+        coord_t v = 1;
+        for (int i = 0; i < dim(); i++)
+            v *= hi[i] - lo[i];
+        return v;
+    }
+
+    /** Extent along each dimension (may be negative when empty). */
+    Point
+    extent() const
+    {
+        Point e = Point::zero(dim());
+        for (int i = 0; i < dim(); i++)
+            e[i] = hi[i] - lo[i];
+        return e;
+    }
+
+    bool
+    contains(const Point &p) const
+    {
+        if (p.dim != dim())
+            return false;
+        for (int i = 0; i < dim(); i++) {
+            if (p[i] < lo[i] || p[i] >= hi[i])
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    contains(const Rect &r) const
+    {
+        if (r.empty())
+            return true;
+        for (int i = 0; i < dim(); i++) {
+            if (r.lo[i] < lo[i] || r.hi[i] > hi[i])
+                return false;
+        }
+        return true;
+    }
+
+    /** Intersection; dimensionalities must match. */
+    Rect
+    intersect(const Rect &o) const
+    {
+        Rect r = *this;
+        for (int i = 0; i < dim(); i++) {
+            r.lo[i] = std::max(lo[i], o.lo[i]);
+            r.hi[i] = std::min(hi[i], o.hi[i]);
+            if (r.hi[i] < r.lo[i])
+                r.hi[i] = r.lo[i];
+        }
+        return r;
+    }
+
+    bool
+    operator==(const Rect &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+
+    bool operator!=(const Rect &o) const { return !(*this == o); }
+
+    std::string
+    toString() const
+    {
+        return "[" + lo.toString() + ".." + hi.toString() + ")";
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Rect &r)
+{
+    return os << r.toString();
+}
+
+/**
+ * Iterate all points of a rectangle in row-major order. Only used for
+ * launch domains (small: one point per processor), never for data.
+ */
+class PointIterator
+{
+  public:
+    explicit PointIterator(const Rect &r)
+        : rect_(r), cur_(r.lo), valid_(!r.empty())
+    {}
+
+    bool valid() const { return valid_; }
+    const Point &operator*() const { return cur_; }
+
+    void
+    step()
+    {
+        for (int i = rect_.dim() - 1; i >= 0; i--) {
+            if (++cur_[i] < rect_.hi[i])
+                return;
+            cur_[i] = rect_.lo[i];
+        }
+        valid_ = false;
+    }
+
+  private:
+    Rect rect_;
+    Point cur_;
+    bool valid_;
+};
+
+/** Row-major linearization of a point within a rectangle. */
+inline coord_t
+linearize(const Rect &r, const Point &p)
+{
+    coord_t idx = 0;
+    for (int i = 0; i < r.dim(); i++)
+        idx = idx * (r.hi[i] - r.lo[i]) + (p[i] - r.lo[i]);
+    return idx;
+}
+
+/** Inverse of linearize(). */
+inline Point
+delinearize(const Rect &r, coord_t idx)
+{
+    Point p = Point::zero(r.dim());
+    for (int i = r.dim() - 1; i >= 0; i--) {
+        coord_t ext = r.hi[i] - r.lo[i];
+        p[i] = r.lo[i] + idx % ext;
+        idx /= ext;
+    }
+    return p;
+}
+
+/** Combine hashes, boost-style. */
+inline void
+hashCombine(std::size_t &seed, std::size_t v)
+{
+    seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+struct PointHash
+{
+    std::size_t
+    operator()(const Point &p) const
+    {
+        std::size_t h = std::hash<int>()(p.dim);
+        for (int i = 0; i < p.dim; i++)
+            hashCombine(h, std::hash<coord_t>()(p.c[i]));
+        return h;
+    }
+};
+
+struct RectHash
+{
+    std::size_t
+    operator()(const Rect &r) const
+    {
+        std::size_t h = PointHash()(r.lo);
+        hashCombine(h, PointHash()(r.hi));
+        return h;
+    }
+};
+
+} // namespace diffuse
+
+#endif // DIFFUSE_COMMON_GEOMETRY_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error-reporting helpers in the style of gem5's logging.hh.
+ *
+ * `panic` reports an internal invariant violation (a Diffuse bug) and
+ * aborts; `fatal` reports a user/configuration error and exits. Both
+ * accept printf-style formatting.
+ */
+
+#ifndef DIFFUSE_COMMON_LOGGING_H
+#define DIFFUSE_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace diffuse {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format into a std::string, printf-style. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace diffuse
+
+/** Internal invariant violation — a bug in Diffuse itself. */
+#define diffuse_panic(...) \
+    ::diffuse::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Unrecoverable user/configuration error. */
+#define diffuse_fatal(...) \
+    ::diffuse::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Non-fatal warning to stderr. */
+#define diffuse_warn(...) ::diffuse::warnImpl(__VA_ARGS__)
+
+/** Cheap always-on assertion used at module boundaries. */
+#define diffuse_assert(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::diffuse::panicImpl(__FILE__, __LINE__, __VA_ARGS__);         \
+    } while (0)
+
+#endif // DIFFUSE_COMMON_LOGGING_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic xorshift random number generator.
+ *
+ * Used for reproducible array initialization in tests, examples and
+ * benchmarks. Not cryptographic; speed and determinism are what matter.
+ */
+
+#ifndef DIFFUSE_COMMON_RNG_H
+#define DIFFUSE_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace diffuse {
+
+/** xorshift128+ generator with a splitmix64-seeded state. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        s0_ = splitmix(seed);
+        s1_ = splitmix(s0_);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+  private:
+    static std::uint64_t
+    splitmix(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace diffuse
+
+#endif // DIFFUSE_COMMON_RNG_H

@@ -1,0 +1,125 @@
+#include "constraints.h"
+
+namespace diffuse {
+
+const char *
+fusionBlockName(FusionBlock b)
+{
+    switch (b) {
+      case FusionBlock::None:
+        return "none";
+      case FusionBlock::LaunchDomain:
+        return "launch-domain";
+      case FusionBlock::TrueDependence:
+        return "true-dependence";
+      case FusionBlock::AntiDependence:
+        return "anti-dependence";
+      case FusionBlock::Reduction:
+        return "reduction";
+      case FusionBlock::Opaque:
+        return "opaque";
+    }
+    return "?";
+}
+
+FusionBlock
+ConstraintChecker::admits(const IndexTask &task, bool opaque) const
+{
+    if (opaque)
+        return FusionBlock::Opaque;
+
+    // launch-domain-equivalence: all tasks share one launch domain.
+    if (haveDomain_ && task.launchDomain != domain_)
+        return FusionBlock::LaunchDomain;
+
+    // Single-point relaxation: with one point task per index task,
+    // every dependence is point-wise by construction.
+    bool relaxed = allSinglePoint_ && task.singlePoint();
+    if (relaxed)
+        return FusionBlock::None;
+
+    for (const StoreArg &arg : task.args) {
+        auto it = effects_.find(arg.store);
+        if (it == effects_.end())
+            continue;
+        // Same-partition accesses are point-wise only when the
+        // partition maps distinct launch points to disjoint pieces.
+        bool disjoint_same =
+            arg.part.pointwiseDisjoint(task.launchDomain);
+        for (const Effect &e : it->second) {
+            bool same = e.part == arg.part && disjoint_same;
+            if (privReads(arg.priv)) {
+                // true-dependence: prior write through another (or an
+                // aliasing) view.
+                if (e.written && !same)
+                    return FusionBlock::TrueDependence;
+                // reduction: may not view a partially reduced store.
+                if (e.reduced)
+                    return FusionBlock::Reduction;
+            }
+            if (privWrites(arg.priv)) {
+                // true-dependence (write-write through another view).
+                if (e.written && !same)
+                    return FusionBlock::TrueDependence;
+                // anti-dependence: prior read through another view.
+                if (e.read && !same)
+                    return FusionBlock::AntiDependence;
+                // reduction constraint, i != j.
+                if (e.reduced)
+                    return FusionBlock::Reduction;
+            }
+            if (privReduces(arg.priv)) {
+                // reduction constraint, symmetric direction.
+                if (e.read || e.written)
+                    return FusionBlock::Reduction;
+                // A single reduction operator per store at a time.
+                if (e.reduced && e.redop != arg.redop)
+                    return FusionBlock::Reduction;
+            }
+        }
+    }
+    return FusionBlock::None;
+}
+
+void
+ConstraintChecker::add(const IndexTask &task)
+{
+    if (!haveDomain_) {
+        domain_ = task.launchDomain;
+        haveDomain_ = true;
+    }
+    allSinglePoint_ = allSinglePoint_ && task.singlePoint();
+    for (const StoreArg &arg : task.args) {
+        auto &vec = effects_[arg.store];
+        Effect *slot = nullptr;
+        for (Effect &e : vec) {
+            if (e.part == arg.part) {
+                slot = &e;
+                break;
+            }
+        }
+        if (!slot) {
+            vec.emplace_back();
+            slot = &vec.back();
+            slot->part = arg.part;
+        }
+        slot->read = slot->read || privReads(arg.priv);
+        slot->written = slot->written || privWrites(arg.priv);
+        if (privReduces(arg.priv)) {
+            slot->reduced = true;
+            slot->redop = arg.redop;
+        }
+    }
+    count_++;
+}
+
+void
+ConstraintChecker::reset()
+{
+    effects_.clear();
+    haveDomain_ = false;
+    allSinglePoint_ = true;
+    count_ = 0;
+}
+
+} // namespace diffuse

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The four fusion constraints (paper §4.2.1, Fig 5) as an incremental
+ * forward dataflow over a candidate task prefix.
+ *
+ * A ConstraintChecker accumulates the effects each admitted task applies
+ * to its argument stores; `admits(task)` decides in time proportional to
+ * the task's argument count (times prior distinct views of each store)
+ * whether extending the prefix keeps every dependence point-wise.
+ * Partition comparisons are constant-time structural checks — nothing
+ * here scales with the number of processors.
+ *
+ * Single-point relaxation: when every launch domain in the prefix has
+ * exactly one point, D(T1,T2)[p] ⊆ {p} holds trivially, so the
+ * true-/anti-/reduction-dependence constraints are waived (the fused
+ * body preserves program order on the single processor). This is what
+ * lets single-GPU runs fuse longer chains (paper §7.1, CFD).
+ */
+
+#ifndef DIFFUSE_CORE_CONSTRAINTS_H
+#define DIFFUSE_CORE_CONSTRAINTS_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/index_task.h"
+
+namespace diffuse {
+
+/** Why a task could not join the prefix (for stats and tests). */
+enum class FusionBlock : std::uint8_t {
+    None,            ///< task admitted
+    LaunchDomain,    ///< launch-domain-equivalence violated
+    TrueDependence,  ///< write followed by aliasing read/write
+    AntiDependence,  ///< read followed by aliasing write
+    Reduction,       ///< reduction mixed with read/write of the store
+    Opaque,          ///< task has no kernel generator
+};
+
+const char *fusionBlockName(FusionBlock b);
+
+/** Incremental checker for the fusion constraints. */
+class ConstraintChecker
+{
+  public:
+    ConstraintChecker() = default;
+
+    /**
+     * Would admitting `task` keep the prefix fusible? Does not modify
+     * state. `opaque` marks tasks with no generator.
+     */
+    FusionBlock admits(const IndexTask &task, bool opaque) const;
+
+    /** Record `task`'s effects. Must have been admitted. */
+    void add(const IndexTask &task);
+
+    /** Number of tasks admitted so far. */
+    int size() const { return count_; }
+
+    void reset();
+
+  private:
+    struct Effect
+    {
+        PartitionDesc part;
+        bool read = false;
+        bool written = false;
+        bool reduced = false;
+        ReductionOp redop = ReductionOp::Sum;
+    };
+
+    /** Effects per store, one entry per distinct partition seen. */
+    std::unordered_map<StoreId, std::vector<Effect>> effects_;
+    Rect domain_;
+    bool haveDomain_ = false;
+    bool allSinglePoint_ = true;
+    int count_ = 0;
+};
+
+} // namespace diffuse
+
+#endif // DIFFUSE_CORE_CONSTRAINTS_H

@@ -1,0 +1,245 @@
+#include "diffuse.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace diffuse {
+
+DiffuseRuntime::DiffuseRuntime(const rt::MachineConfig &machine,
+                               DiffuseOptions options)
+    : options_(options), low_(machine, options.mode),
+      planner_(registry_, compiler_, stores_,
+               PlannerOptions{options.tempElimination,
+                              options.kernelOptimization}),
+      windowSize_(options.fusionEnabled ? options.initialWindow : 1)
+{
+    diffuse_assert(windowSize_ >= 1, "window must hold a task");
+    fusionStats_.windowSize = windowSize_;
+}
+
+StoreId
+DiffuseRuntime::createStore(const Point &shape, DType dtype, double init,
+                            const std::string &name)
+{
+    StoreId id = low_.createStore(shape, dtype, init);
+    stores_.add(id, Rect::fromShape(shape), dtype, name);
+    return id;
+}
+
+void
+DiffuseRuntime::retainApp(StoreId id)
+{
+    stores_.retainApp(id);
+}
+
+void
+DiffuseRuntime::releaseApp(StoreId id)
+{
+    if (stores_.releaseApp(id)) {
+        low_.destroyStore(id);
+        stores_.remove(id);
+    }
+}
+
+const StoreMeta &
+DiffuseRuntime::storeMeta(StoreId id) const
+{
+    return stores_.get(id);
+}
+
+void
+DiffuseRuntime::submit(IndexTask task)
+{
+    diffuse_assert(!task.launchDomain.empty(),
+                   "task %s has an empty launch domain",
+                   task.name.c_str());
+    for (const StoreArg &arg : task.args)
+        stores_.retainWindow(arg.store);
+    fusionStats_.tasksSubmitted++;
+    window_.push_back(std::move(task));
+    while (int(window_.size()) >= windowSize_)
+        processOne();
+}
+
+void
+DiffuseRuntime::flushWindow()
+{
+    fusionStats_.flushes++;
+    while (!window_.empty())
+        processOne();
+}
+
+double
+DiffuseRuntime::readScalar(StoreId id)
+{
+    flushWindow();
+    return low_.readScalarValue(id);
+}
+
+std::vector<double>
+DiffuseRuntime::readStoreF64(StoreId id)
+{
+    flushWindow();
+    const StoreMeta &meta = stores_.get(id);
+    std::size_t n = std::size_t(meta.shape.volume());
+    std::vector<double> out(n);
+    const double *p = low_.dataF64(id);
+    std::memcpy(out.data(), p, n * sizeof(double));
+    return out;
+}
+
+void
+DiffuseRuntime::writeStoreF64(StoreId id, const std::vector<double> &v)
+{
+    flushWindow();
+    const StoreMeta &meta = stores_.get(id);
+    std::size_t n = std::size_t(meta.shape.volume());
+    diffuse_assert(v.size() == n, "writeStoreF64 size mismatch");
+    std::memcpy(low_.dataF64(id), v.data(), n * sizeof(double));
+    low_.markInitialized(id);
+}
+
+bool
+DiffuseRuntime::liveAfterIndex(StoreId id, std::size_t prefix_len) const
+{
+    // Definition 4, condition 3: live application references.
+    if (stores_.get(id).appRefs > 0)
+        return true;
+    // Definition 4, condition 2: a pending task beyond the prefix
+    // reads or reduces the store.
+    for (std::size_t t = prefix_len; t < window_.size(); t++) {
+        for (const StoreArg &arg : window_[t].args) {
+            if (arg.store == id &&
+                (privReads(arg.priv) || privReduces(arg.priv))) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+ExecutionGroup
+DiffuseRuntime::buildSingleCached(const IndexTask &task)
+{
+    // Library task variants are compiled ahead of time in the real
+    // system; cache them by type and signature.
+    kir::GenSignature sig = planner_.signatureFor(task);
+    std::string key;
+    key.reserve(16 + sig.args.size() * 16);
+    auto append = [&key](std::uint64_t v) {
+        key.append(reinterpret_cast<const char *>(&v), sizeof(v));
+    };
+    append(task.type);
+    append(std::uint64_t(sig.numScalars));
+    for (const kir::ArgInfo &a : sig.args) {
+        append(std::uint64_t(a.dims));
+        append(std::uint64_t(a.dtype));
+        append(std::uint64_t(a.aliasClass + 1));
+        append(std::uint64_t(a.shapeClass + 1));
+    }
+
+    ExecutionGroup group;
+    group.task = task;
+    group.sourceTasks = 1;
+    group.fused = false;
+    auto it = singleCache_.find(key);
+    if (it != singleCache_.end()) {
+        group.kernel = it->second;
+        return group;
+    }
+    ExecutionGroup built = planner_.buildSingle(task);
+    singleCache_.emplace(std::move(key), built.kernel);
+    built.task = task;
+    return built;
+}
+
+void
+DiffuseRuntime::processOne()
+{
+    if (window_.empty())
+        return;
+
+    bool was_full = int(window_.size()) >= windowSize_;
+
+    FusionBlock block = FusionBlock::None;
+    int f = options_.fusionEnabled
+                ? planner_.findPrefix(window_, &block)
+                : 1;
+    diffuse_assert(f >= 1, "planner returned empty prefix");
+    fusionStats_.blocks[std::size_t(block)]++;
+
+    std::span<const IndexTask> prefix(window_.data(), std::size_t(f));
+    ExecutionGroup group;
+    if (f >= 2) {
+        auto live = [this, f](StoreId id) {
+            return liveAfterIndex(id, std::size_t(f));
+        };
+        if (options_.memoization) {
+            std::vector<StoreId> slots;
+            std::string key =
+                memo_.encode(prefix, stores_, live, &slots);
+            if (const CachedGroup *plan = memo_.lookup(key)) {
+                group = Memoizer::instantiate(*plan, prefix, slots);
+            } else {
+                group = planner_.buildFused(prefix, live);
+                memo_.insert(key,
+                             Memoizer::canonicalize(group, slots));
+            }
+        } else {
+            group = planner_.buildFused(prefix, live);
+        }
+        fusionStats_.fusedGroups++;
+        fusionStats_.tempsEliminated += group.temps.size();
+    } else {
+        group = buildSingleCached(window_.front());
+        fusionStats_.singleTasks++;
+    }
+
+    scheduleGroup(group);
+
+    // Retire the emitted tasks and drop their window references.
+    for (int t = 0; t < f; t++)
+        releaseTaskRefs(window_[std::size_t(t)]);
+    window_.erase(window_.begin(), window_.begin() + f);
+
+    // Automatic window growth (paper §7): when a full window fused
+    // entirely into one task, double the window.
+    if (was_full && f >= windowSize_ &&
+        windowSize_ < options_.maxWindow) {
+        windowSize_ = std::min(windowSize_ * 2, options_.maxWindow);
+        fusionStats_.windowGrowths++;
+        fusionStats_.windowSize = windowSize_;
+    }
+}
+
+void
+DiffuseRuntime::scheduleGroup(const ExecutionGroup &group)
+{
+    rt::LaunchedTask low = lowerGroup(group, stores_, low_);
+    low_.execute(low);
+    fusionStats_.groupsLaunched++;
+}
+
+void
+DiffuseRuntime::releaseTaskRefs(const IndexTask &task)
+{
+    for (const StoreArg &arg : task.args) {
+        if (stores_.releaseWindow(arg.store)) {
+            low_.destroyStore(arg.store);
+            stores_.remove(arg.store);
+        }
+    }
+}
+
+void
+DiffuseRuntime::destroyIfDead(StoreId id)
+{
+    const StoreMeta &meta = stores_.get(id);
+    if (meta.appRefs == 0 && meta.windowRefs == 0) {
+        low_.destroyStore(id);
+        stores_.remove(id);
+    }
+}
+
+} // namespace diffuse

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * DiffuseRuntime — the public facade of the middle layer.
+ *
+ * Libraries (cunumeric-mini, sparse-mini) create stores and submit
+ * index tasks here. Tasks buffer into a window; when the window fills
+ * (or is flushed by a scalar read-back or an explicit flush), the
+ * fusion planner carves the window into fusible groups, the memoizer
+ * replays previously compiled plans for isomorphic groups, and the
+ * scheduler lowers each group to legion-mini for execution.
+ *
+ * Window sizing follows the paper (§7): the window grows whenever all
+ * tasks in a full window fused into one group, so steady state reaches
+ * the maximum useful fusion length automatically.
+ */
+
+#ifndef DIFFUSE_CORE_DIFFUSE_H
+#define DIFFUSE_CORE_DIFFUSE_H
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fusion.h"
+#include "core/index_task.h"
+#include "core/memo.h"
+#include "core/scheduler.h"
+#include "core/store.h"
+#include "kernel/compiler.h"
+#include "kernel/registry.h"
+#include "runtime/runtime.h"
+
+namespace diffuse {
+
+/** Configuration of a DiffuseRuntime instance. */
+struct DiffuseOptions
+{
+    /** Master switch: off = forward every task unfused (baseline). */
+    bool fusionEnabled = true;
+    /** Kernel optimization pipeline; off = task-fusion-only ablation. */
+    bool kernelOptimization = true;
+    /** Temporary store elimination (paper §5.1). */
+    bool tempElimination = true;
+    /** Memoization of fused-group plans (paper §5.2). */
+    bool memoization = true;
+    /** Initial fusion window size (paper §7 starts small and grows). */
+    int initialWindow = 5;
+    /** Upper bound on automatic window growth. */
+    int maxWindow = 512;
+    rt::ExecutionMode mode = rt::ExecutionMode::Real;
+};
+
+/** Counters describing fusion behaviour. */
+struct FusionStats
+{
+    std::uint64_t tasksSubmitted = 0;
+    std::uint64_t groupsLaunched = 0; ///< index tasks reaching legion-mini
+    std::uint64_t fusedGroups = 0;
+    std::uint64_t singleTasks = 0;
+    std::uint64_t tempsEliminated = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t windowGrowths = 0;
+    int windowSize = 0;
+    /** Prefix-stopping constraint counts, indexed by FusionBlock. */
+    std::array<std::uint64_t, 6> blocks{};
+
+    void
+    reset()
+    {
+        int keep = windowSize;
+        *this = FusionStats();
+        windowSize = keep;
+    }
+};
+
+/**
+ * The Diffuse middle layer. One instance per application run.
+ */
+class DiffuseRuntime
+{
+  public:
+    explicit DiffuseRuntime(const rt::MachineConfig &machine,
+                            DiffuseOptions options = DiffuseOptions());
+
+    // ---- Store management -------------------------------------------
+
+    /**
+     * Create a store with one application reference held by the
+     * caller. Real-mode allocations materialize lazily on first use.
+     */
+    StoreId createStore(const Point &shape, DType dtype = DType::F64,
+                        double init = 0.0, const std::string &name = "");
+
+    void retainApp(StoreId id);
+    void releaseApp(StoreId id);
+
+    const StoreMeta &storeMeta(StoreId id) const;
+
+    // ---- Task submission --------------------------------------------
+
+    /** Submit an index task into the fusion window. */
+    void submit(IndexTask task);
+
+    /** Drain the window (paper's flush_window). */
+    void flushWindow();
+
+    /** Flush, then read back a scalar store's value. */
+    double readScalar(StoreId id);
+
+    /** Flush, then copy out an f64 store's contents (tests). */
+    std::vector<double> readStoreF64(StoreId id);
+
+    /** Host-side initialization of an f64 store (excluded from sim). */
+    void writeStoreF64(StoreId id, const std::vector<double> &values);
+
+    // ---- Components --------------------------------------------------
+
+    kir::Registry &registry() { return registry_; }
+    rt::LowRuntime &low() { return low_; }
+    const rt::MachineConfig &machine() const { return low_.machine(); }
+    const DiffuseOptions &options() const { return options_; }
+
+    ImageId
+    registerImage(rt::ImageData data)
+    {
+        return low_.registerImage(std::move(data));
+    }
+
+    // ---- Statistics ---------------------------------------------------
+
+    FusionStats &fusionStats() { return fusionStats_; }
+    const Memoizer::Stats &memoStats() const { return memo_.stats(); }
+    const kir::CompilerStats &compilerStats() const
+    {
+        return compiler_.stats();
+    }
+    rt::RuntimeStats &runtimeStats() { return low_.stats(); }
+    const StoreTable &stores() const { return stores_; }
+
+  private:
+    /** Emit exactly one group from the head of the window. */
+    void processOne();
+
+    /** Definition 4 conditions (2)+(3) for the prefix [0, prefix_len). */
+    bool liveAfterIndex(StoreId id, std::size_t prefix_len) const;
+
+    void scheduleGroup(const ExecutionGroup &group);
+
+    /** Drop window references of an emitted task; free dead stores. */
+    void releaseTaskRefs(const IndexTask &task);
+
+    void destroyIfDead(StoreId id);
+
+    ExecutionGroup buildSingleCached(const IndexTask &task);
+
+    DiffuseOptions options_;
+    rt::LowRuntime low_;
+    kir::Registry registry_;
+    kir::JitCompiler compiler_;
+    StoreTable stores_;
+    FusionPlanner planner_;
+    Memoizer memo_;
+    FusionStats fusionStats_;
+
+    std::vector<IndexTask> window_;
+    int windowSize_;
+
+    /** Pre-compiled kernels for stand-alone tasks, keyed on type and
+     * signature (library task variants exist ahead of time). */
+    std::unordered_map<std::string,
+                       std::shared_ptr<kir::CompiledKernel>>
+        singleCache_;
+};
+
+} // namespace diffuse
+
+#endif // DIFFUSE_CORE_DIFFUSE_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The computational half of Diffuse's IR (paper §3.2): index tasks over
+ * launch domains, with (store, partition, privilege) argument lists.
+ */
+
+#ifndef DIFFUSE_CORE_INDEX_TASK_H
+#define DIFFUSE_CORE_INDEX_TASK_H
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/types.h"
+#include "core/partition.h"
+
+namespace diffuse {
+
+/** One (store, partition, privilege) argument of an index task. */
+struct StoreArg
+{
+    StoreId store = INVALID_STORE;
+    PartitionDesc part;
+    Privilege priv = Privilege::Read;
+    ReductionOp redop = ReductionOp::Sum;
+
+    StoreArg() = default;
+    StoreArg(StoreId s, PartitionDesc p, Privilege pr,
+             ReductionOp op = ReductionOp::Sum)
+        : store(s), part(std::move(p)), priv(pr), redop(op)
+    {}
+};
+
+/**
+ * IndexTask(domain, [(store, partition, privilege)...]) — a group of
+ * parallel point tasks over a rectangular launch domain. The task body
+ * is named by `type`, resolved through the kernel registry.
+ */
+struct IndexTask
+{
+    TaskTypeId type = 0;
+    Rect launchDomain;
+    std::vector<StoreArg> args;
+    std::vector<double> scalars;
+    std::string name;
+
+    /** Number of point tasks. */
+    coord_t points() const { return launchDomain.volume(); }
+
+    /** True when every dependence is trivially point-wise. */
+    bool singlePoint() const { return launchDomain.volume() == 1; }
+};
+
+} // namespace diffuse
+
+#endif // DIFFUSE_CORE_INDEX_TASK_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Memoization of fusion analysis and code generation (paper §5.2).
+ *
+ * Task groups are canonicalized by renaming store ids to their
+ * first-use order — the De-Bruijn-style representation of Fig 7 that
+ * makes memoization robust to store renaming (alpha-equivalence).
+ * The cached plan records the fused argument template over canonical
+ * slots, the eliminated temporaries, and the compiled kernel; on a hit
+ * the plan is re-instantiated against the current window's stores and
+ * no analysis or compilation runs.
+ *
+ * The key also encodes each store's liveness-beyond-the-group bit,
+ * because temporary elimination (Definition 4) depends on it: two
+ * textually isomorphic groups with different liveness must not share
+ * a plan.
+ */
+
+#ifndef DIFFUSE_CORE_MEMO_H
+#define DIFFUSE_CORE_MEMO_H
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fusion.h"
+#include "core/index_task.h"
+#include "core/store.h"
+
+namespace diffuse {
+
+/** A cached, canonical execution plan for a task group. */
+struct CachedGroup
+{
+    int length = 0;
+    bool fused = false;
+    int sourceTasks = 1;
+    std::string name;
+
+    struct CArg
+    {
+        int slot = 0; ///< canonical store index (first-use order)
+        PartitionDesc part;
+        Privilege priv = Privilege::Read;
+        ReductionOp redop = ReductionOp::Sum;
+    };
+    std::vector<CArg> args;
+    std::vector<int> tempSlots;
+    Rect launchDomain;
+    std::shared_ptr<kir::CompiledKernel> kernel;
+};
+
+/** Group-level memoization cache. */
+class Memoizer
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::size_t entries = 0;
+    };
+
+    /**
+     * Canonical encoding of `prefix` under the given liveness.
+     * @param slots_out Receives the store id of each canonical slot
+     *        in first-use order (for plan re-instantiation).
+     */
+    std::string encode(std::span<const IndexTask> prefix,
+                       const StoreTable &stores,
+                       const std::function<bool(StoreId)> &live_after,
+                       std::vector<StoreId> *slots_out) const;
+
+    /** Find a cached plan; counts a hit or miss. */
+    const CachedGroup *lookup(const std::string &key);
+
+    void insert(const std::string &key, CachedGroup group);
+
+    /** Convert an ExecutionGroup into its canonical cached form. */
+    static CachedGroup canonicalize(const ExecutionGroup &group,
+                                    std::span<const StoreId> slots);
+
+    /** Instantiate a cached plan against concrete stores. */
+    static ExecutionGroup instantiate(const CachedGroup &plan,
+                                      std::span<const IndexTask> prefix,
+                                      std::span<const StoreId> slots);
+
+    const Stats &stats() const { return stats_; }
+    void resetStats() { stats_.hits = stats_.misses = 0; }
+
+  private:
+    std::unordered_map<std::string, CachedGroup> cache_;
+    Stats stats_;
+};
+
+} // namespace diffuse
+
+#endif // DIFFUSE_CORE_MEMO_H

@@ -1,0 +1,305 @@
+#include "generators.h"
+
+#include "common/logging.h"
+#include "cunumeric/ndarray.h"
+
+namespace diffuse {
+namespace num {
+
+namespace {
+
+using kir::BodyBuilder;
+using kir::GenSignature;
+using kir::KernelFunction;
+using kir::LoopNest;
+using kir::Op;
+
+/** Start a function whose buffers mirror the signature's arguments. */
+KernelFunction
+start(const GenSignature &sig)
+{
+    KernelFunction fn;
+    fn.numArgs = int(sig.args.size());
+    fn.numScalars = sig.numScalars;
+    fn.buffers = sig.argBuffers();
+    return fn;
+}
+
+/** Dense nest over the domain of buffer `domain_buf`. */
+LoopNest
+denseNest(int domain_buf)
+{
+    LoopNest nest;
+    nest.kind = kir::NestKind::Dense;
+    nest.domainBuf = domain_buf;
+    return nest;
+}
+
+/** out = a OP b, args (a, b, out). */
+kir::GeneratorFn
+binaryGen(Op op)
+{
+    return [op](const GenSignature &sig) {
+        diffuse_assert(sig.args.size() == 3, "binary op wants 3 args");
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(2);
+        BodyBuilder b(nest.body);
+        int r = b.binary(op, b.load(0), b.load(1));
+        b.store(2, r);
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    };
+}
+
+/** out = OP(a), args (a, out). */
+kir::GeneratorFn
+unaryGen(Op op)
+{
+    return [op](const GenSignature &sig) {
+        diffuse_assert(sig.args.size() == 2, "unary op wants 2 args");
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(1);
+        BodyBuilder b(nest.body);
+        b.store(1, b.unary(op, b.load(0)));
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    };
+}
+
+/** Reduction acc <- reduce(f(inputs)); acc is the last argument. */
+kir::GeneratorFn
+reduceGen(int inputs, bool multiply)
+{
+    return [inputs, multiply](const GenSignature &sig) {
+        diffuse_assert(int(sig.args.size()) == inputs + 1,
+                       "reduction arg count");
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(0);
+        BodyBuilder b(nest.body);
+        int v;
+        if (inputs == 2)
+            v = b.binary(Op::Mul, b.load(0), b.load(1));
+        else if (multiply) {
+            int a = b.load(0);
+            v = b.binary(Op::Mul, a, a);
+        } else
+            v = b.load(0);
+        kir::Reduction red;
+        red.accBuf = inputs; // last arg
+        red.op = ReductionOp::Sum;
+        red.srcReg = v;
+        nest.reductions.push_back(red);
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    };
+}
+
+} // namespace
+
+void
+registerGenerators(kir::Registry &reg, OpTable &ops)
+{
+    // ---- fill / copy -----------------------------------------------
+    ops.fill = reg.registerTask("fill", [](const GenSignature &sig) {
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(0);
+        BodyBuilder b(nest.body);
+        b.store(0, b.scalar(0));
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    });
+    ops.copy = reg.registerTask("copy", [](const GenSignature &sig) {
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(1);
+        BodyBuilder b(nest.body);
+        b.store(1, b.load(0));
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    });
+
+    // ---- element-wise binary ----------------------------------------
+    ops.add = reg.registerTask("add", binaryGen(Op::Add));
+    ops.sub = reg.registerTask("sub", binaryGen(Op::Sub));
+    ops.mul = reg.registerTask("mul", binaryGen(Op::Mul));
+    ops.div = reg.registerTask("div", binaryGen(Op::Div));
+    ops.maximum = reg.registerTask("maximum", binaryGen(Op::Max));
+    ops.minimum = reg.registerTask("minimum", binaryGen(Op::Min));
+
+    // ---- scalar-immediate forms --------------------------------------
+    ops.addScalar =
+        reg.registerTask("add_scalar", [](const GenSignature &sig) {
+            KernelFunction fn = start(sig);
+            LoopNest nest = denseNest(1);
+            BodyBuilder b(nest.body);
+            b.store(1, b.binary(Op::Add, b.load(0), b.scalar(0)));
+            fn.nests.push_back(std::move(nest));
+            return fn;
+        });
+    ops.mulScalar =
+        reg.registerTask("mul_scalar", [](const GenSignature &sig) {
+            KernelFunction fn = start(sig);
+            LoopNest nest = denseNest(1);
+            BodyBuilder b(nest.body);
+            b.store(1, b.binary(Op::Mul, b.scalar(0), b.load(0)));
+            fn.nests.push_back(std::move(nest));
+            return fn;
+        });
+    ops.axpy = reg.registerTask("axpy", [](const GenSignature &sig) {
+        // out = a + s*b; args (a, b, out), scalar s.
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(2);
+        BodyBuilder b(nest.body);
+        int sb = b.binary(Op::Mul, b.scalar(0), b.load(1));
+        b.store(2, b.binary(Op::Add, b.load(0), sb));
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    });
+    ops.aypx = reg.registerTask("aypx", [](const GenSignature &sig) {
+        // out = s*a + b; args (a, b, out), scalar s.
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(2);
+        BodyBuilder b(nest.body);
+        int sa = b.binary(Op::Mul, b.scalar(0), b.load(0));
+        b.store(2, b.binary(Op::Add, sa, b.load(1)));
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    });
+    ops.powScalar =
+        reg.registerTask("pow_scalar", [](const GenSignature &sig) {
+            KernelFunction fn = start(sig);
+            LoopNest nest = denseNest(1);
+            BodyBuilder b(nest.body);
+            b.store(1, b.binary(Op::Pow, b.load(0), b.scalar(0)));
+            fn.nests.push_back(std::move(nest));
+            return fn;
+        });
+    ops.recip = reg.registerTask("recip", [](const GenSignature &sig) {
+        // out = s / a; args (a, out), scalar s.
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(1);
+        BodyBuilder b(nest.body);
+        b.store(1, b.binary(Op::Div, b.scalar(0), b.load(0)));
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    });
+
+    // ---- element-wise unary -------------------------------------------
+    ops.neg = reg.registerTask("neg", unaryGen(Op::Neg));
+    ops.sqrtOp = reg.registerTask("sqrt", unaryGen(Op::Sqrt));
+    ops.expOp = reg.registerTask("exp", unaryGen(Op::Exp));
+    ops.logOp = reg.registerTask("log", unaryGen(Op::Log));
+    ops.erfOp = reg.registerTask("erf", unaryGen(Op::Erf));
+    ops.absOp = reg.registerTask("abs", unaryGen(Op::Abs));
+
+    // ---- addScaled: out = sa*a + sb*b (scalar-store coefficients) ----
+    ops.addScaled =
+        reg.registerTask("add_scaled", [](const GenSignature &sig) {
+            // args (a, sa, b, sb, out).
+            KernelFunction fn = start(sig);
+            LoopNest nest = denseNest(4);
+            BodyBuilder b(nest.body);
+            int ta = b.binary(Op::Mul, b.load(1), b.load(0));
+            int tb = b.binary(Op::Mul, b.load(3), b.load(2));
+            b.store(4, b.binary(Op::Add, ta, tb));
+            fn.nests.push_back(std::move(nest));
+            return fn;
+        });
+
+    // ---- reductions ----------------------------------------------------
+    ops.sumReduce = reg.registerTask("sum", reduceGen(1, false));
+    ops.dot = reg.registerTask("dot", reduceGen(2, false));
+    ops.norm2Sq = reg.registerTask("norm2sq", reduceGen(1, true));
+    ops.maxReduce =
+        reg.registerTask("max_reduce", [](const GenSignature &sig) {
+            KernelFunction fn = start(sig);
+            LoopNest nest = denseNest(0);
+            BodyBuilder b(nest.body);
+            kir::Reduction red;
+            red.accBuf = 1;
+            red.op = ReductionOp::Max;
+            red.srcReg = b.load(0);
+            nest.reductions.push_back(red);
+            fn.nests.push_back(std::move(nest));
+            return fn;
+        });
+
+    // ---- dense matvec ---------------------------------------------------
+    // GEMV is registered *opaque*: in cuPyNumeric it dispatches to
+    // cuBLAS and its body was never exposed in MLIR, which is why the
+    // paper's Jacobi keeps its matrix-vector product as a stand-alone
+    // task (Fig 9: 3 tasks -> 2).
+    ops.gemv = reg.registerTask("gemv", [](const GenSignature &sig) {
+        diffuse_assert(sig.args.size() == 3, "gemv wants (A, x, y)");
+        KernelFunction fn = start(sig);
+        LoopNest nest;
+        nest.kind = kir::NestKind::Gemv;
+        nest.domainBuf = 2;
+        nest.gemvA = 0;
+        nest.gemvX = 1;
+        nest.gemvY = 2;
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    }, /*opaque=*/true);
+
+    // ---- scalar-store arithmetic (single-point tasks) ------------------
+    ops.scalarDiv = reg.registerTask("sdiv", binaryGen(Op::Div));
+    ops.scalarMul = reg.registerTask("smul", binaryGen(Op::Mul));
+    ops.scalarSub = reg.registerTask("ssub", binaryGen(Op::Sub));
+    ops.scalarSqrt = reg.registerTask("ssqrt", unaryGen(Op::Sqrt));
+    ops.scalarCopy = reg.registerTask("scopy", [](const GenSignature &sig) {
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(1);
+        BodyBuilder b(nest.body);
+        b.store(1, b.load(0));
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    });
+
+    // ---- vector ops with scalar-store coefficients ----------------------
+    ops.axpyS = reg.registerTask("axpy_s", [](const GenSignature &sig) {
+        // out = a + alpha*b; args (a, alpha, b, out).
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(3);
+        BodyBuilder b(nest.body);
+        int ab = b.binary(Op::Mul, b.load(1), b.load(2));
+        b.store(3, b.binary(Op::Add, b.load(0), ab));
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    });
+    ops.axmyS = reg.registerTask("axmy_s", [](const GenSignature &sig) {
+        // out = a - alpha*b; args (a, alpha, b, out).
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(3);
+        BodyBuilder b(nest.body);
+        int ab = b.binary(Op::Mul, b.load(1), b.load(2));
+        b.store(3, b.binary(Op::Sub, b.load(0), ab));
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    });
+    ops.aypxS = reg.registerTask("aypx_s", [](const GenSignature &sig) {
+        // out = alpha*a + b; args (a, alpha, b, out).
+        KernelFunction fn = start(sig);
+        LoopNest nest = denseNest(3);
+        BodyBuilder b(nest.body);
+        int aa = b.binary(Op::Mul, b.load(1), b.load(0));
+        b.store(3, b.binary(Op::Add, aa, b.load(2)));
+        fn.nests.push_back(std::move(nest));
+        return fn;
+    });
+    ops.axpyInto =
+        reg.registerTask("axpy_into", [](const GenSignature &sig) {
+            // dst = dst + sign*alpha*b; args (dst RW, alpha, b),
+            // immediate scalar sign.
+            KernelFunction fn = start(sig);
+            LoopNest nest = denseNest(0);
+            BodyBuilder b(nest.body);
+            int ab = b.binary(Op::Mul, b.load(1), b.load(2));
+            int sab = b.binary(Op::Mul, b.scalar(0), ab);
+            b.store(0, b.binary(Op::Add, b.load(0), sab));
+            fn.nests.push_back(std::move(nest));
+            return fn;
+        });
+}
+
+} // namespace num
+} // namespace diffuse

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Kernel generators for cunumeric-mini operations (paper §6.2).
+ * Each generator returns the task's body in kernel IR, the analogue of
+ * the 50-100 line MLIR generator functions library developers write.
+ */
+
+#ifndef DIFFUSE_CUNUMERIC_GENERATORS_H
+#define DIFFUSE_CUNUMERIC_GENERATORS_H
+
+#include "kernel/registry.h"
+
+namespace diffuse {
+namespace num {
+
+struct OpTable;
+
+/** Register every cunumeric-mini task type; fills `ops`. */
+void registerGenerators(kir::Registry &registry, OpTable &ops);
+
+} // namespace num
+} // namespace diffuse
+
+#endif // DIFFUSE_CUNUMERIC_GENERATORS_H

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * cunumeric-mini: a NumPy-flavoured distributed array library targeting
+ * Diffuse's IR, standing in for cuPyNumeric (paper §2, §7).
+ *
+ * Every operation maps to exactly one index task, as cuPyNumeric maps
+ * NumPy functions to task launches; arrays map to stores; slicing
+ * produces *views* that alias the parent store and are accessed through
+ * offset Tiling partitions — the construction behind the 5-point
+ * stencil of paper Fig 1.
+ *
+ * Launch domains have one point per GPU (paper §7: "our benchmarks
+ * issue index tasks that have one point per GPU"), and 2-D arrays are
+ * row-tiled through the PROJ_ROWS_2D projection.
+ */
+
+#ifndef DIFFUSE_CUNUMERIC_NDARRAY_H
+#define DIFFUSE_CUNUMERIC_NDARRAY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/diffuse.h"
+
+namespace diffuse {
+namespace num {
+
+/** Task-type ids used by cunumeric-mini, fixed by registration order. */
+struct OpTable
+{
+    TaskTypeId fill = 0;
+    TaskTypeId copy = 0;
+    TaskTypeId add = 0;
+    TaskTypeId sub = 0;
+    TaskTypeId mul = 0;
+    TaskTypeId div = 0;
+    TaskTypeId maximum = 0;
+    TaskTypeId minimum = 0;
+    TaskTypeId addScalar = 0;  ///< out = a + s
+    TaskTypeId mulScalar = 0;  ///< out = s * a
+    TaskTypeId axpy = 0;       ///< out = a + s*b
+    TaskTypeId aypx = 0;       ///< out = s*a + b
+    TaskTypeId powScalar = 0;  ///< out = a ** s
+    TaskTypeId neg = 0;
+    TaskTypeId sqrtOp = 0;
+    TaskTypeId expOp = 0;
+    TaskTypeId logOp = 0;
+    TaskTypeId erfOp = 0;
+    TaskTypeId absOp = 0;
+    TaskTypeId recip = 0;      ///< out = s / a
+    TaskTypeId addScaled = 0;  ///< out = sa*a + sb*b (scalar-store coeffs)
+    TaskTypeId sumReduce = 0;  ///< acc <- sum(a)
+    TaskTypeId dot = 0;        ///< acc <- sum(a*b)
+    TaskTypeId norm2Sq = 0;    ///< acc <- sum(a*a)
+    TaskTypeId maxReduce = 0;  ///< acc <- max(a)
+    TaskTypeId gemv = 0;       ///< y = A x
+    TaskTypeId scalarDiv = 0;  ///< c = a / b           (scalar stores)
+    TaskTypeId scalarMul = 0;  ///< c = a * b           (scalar stores)
+    TaskTypeId scalarSub = 0;  ///< c = a - b           (scalar stores)
+    TaskTypeId scalarSqrt = 0; ///< c = sqrt(a)         (scalar stores)
+    TaskTypeId scalarCopy = 0; ///< c = a               (scalar stores)
+    TaskTypeId axpyS = 0;      ///< out = a + alpha*b, alpha a store
+    TaskTypeId axmyS = 0;      ///< out = a - alpha*b, alpha a store
+    TaskTypeId aypxS = 0;      ///< out = alpha*a + b, alpha a store
+    TaskTypeId axpyInto = 0;   ///< dst = dst + sign*alpha*b (RW dst)
+};
+
+class NDArray;
+
+/**
+ * The library context: owns the op table and wraps a DiffuseRuntime.
+ * Mirrors cuPyNumeric's runtime singleton, but explicit for testing.
+ */
+class Context
+{
+  public:
+    explicit Context(DiffuseRuntime &rt);
+
+    DiffuseRuntime &runtime() { return rt_; }
+    const OpTable &ops() const { return ops_; }
+
+    /** Number of launch-domain points (one per GPU). */
+    int procs() const { return rt_.machine().totalGpus(); }
+
+    // ---- Array factories ---------------------------------------------
+
+    /** 1-D array of n zeros (or `init`). */
+    NDArray zeros(coord_t n, double init = 0.0);
+    /** 2-D array of shape (rows, cols), filled with `init`. */
+    NDArray zeros2d(coord_t rows, coord_t cols, double init = 0.0);
+    /** 1-D array with deterministic uniform values in [lo, hi). */
+    NDArray random(coord_t n, std::uint64_t seed, double lo = 0.0,
+                   double hi = 1.0);
+    /** 2-D random array. */
+    NDArray random2d(coord_t rows, coord_t cols, std::uint64_t seed,
+                     double lo = 0.0, double hi = 1.0);
+    /** Scalar store (shape (1,)) holding `v`. */
+    NDArray scalar(double v);
+
+    // ---- Element-wise operations (each one index task) ---------------
+
+    NDArray add(const NDArray &a, const NDArray &b);
+    NDArray sub(const NDArray &a, const NDArray &b);
+    NDArray mul(const NDArray &a, const NDArray &b);
+    NDArray div(const NDArray &a, const NDArray &b);
+    NDArray maximum(const NDArray &a, const NDArray &b);
+    NDArray minimum(const NDArray &a, const NDArray &b);
+    NDArray addScalar(const NDArray &a, double s);
+    NDArray mulScalar(double s, const NDArray &a);
+    NDArray axpy(const NDArray &a, double s, const NDArray &b);
+    NDArray powScalar(const NDArray &a, double s);
+    NDArray neg(const NDArray &a);
+    NDArray sqrt(const NDArray &a);
+    NDArray exp(const NDArray &a);
+    NDArray log(const NDArray &a);
+    NDArray erf(const NDArray &a);
+    NDArray abs(const NDArray &a);
+    /** out = s / a. */
+    NDArray recip(double s, const NDArray &a);
+
+    /** Write `src` into the destination view: dst[:] = src. */
+    void assign(const NDArray &dst, const NDArray &src);
+    /** dst[:] = value. */
+    void fill(const NDArray &dst, double value);
+
+    // ---- Reductions (scalar stores, Rd privilege) ---------------------
+
+    /** Scalar store containing sum(a). */
+    NDArray sum(const NDArray &a);
+    /** Scalar store containing dot(a, b). */
+    NDArray dot(const NDArray &a, const NDArray &b);
+    /** Scalar store containing sum(a*a) — ||a||^2. */
+    NDArray norm2Sq(const NDArray &a);
+
+    // ---- Scalar-store arithmetic (single-point launch domains) -------
+
+    NDArray scalarDiv(const NDArray &a, const NDArray &b);
+    NDArray scalarMul(const NDArray &a, const NDArray &b);
+    NDArray scalarSub(const NDArray &a, const NDArray &b);
+    NDArray scalarSqrt(const NDArray &a);
+    void scalarAssign(const NDArray &dst, const NDArray &src);
+
+    // ---- Vector ops with scalar-store coefficients --------------------
+
+    /** out = a + alpha * b (alpha a scalar store). */
+    NDArray axpyS(const NDArray &a, const NDArray &alpha,
+                  const NDArray &b);
+    /** out = a - alpha * b. */
+    NDArray axmyS(const NDArray &a, const NDArray &alpha,
+                  const NDArray &b);
+    /** out = alpha * a + b. */
+    NDArray aypxS(const NDArray &a, const NDArray &alpha,
+                  const NDArray &b);
+    /** In-place dst = dst + alpha*b / dst - alpha*b (RW privilege). */
+    void axpyInto(const NDArray &dst, const NDArray &alpha,
+                  const NDArray &b, bool subtract);
+
+    // ---- Dense linear algebra -----------------------------------------
+
+    /** y = A @ x for a 2-D A and 1-D x; returns fresh y. */
+    NDArray matvec(const NDArray &a, const NDArray &x);
+
+    // ---- Host interaction ---------------------------------------------
+
+    double value(const NDArray &scalar_arr);
+    std::vector<double> toHost(const NDArray &a);
+
+  private:
+    friend class NDArray;
+
+    /** Launch an element-wise task writing a fresh output array. */
+    NDArray elementwise(TaskTypeId type, const char *name,
+                        std::initializer_list<const NDArray *> inputs,
+                        std::vector<double> scalars);
+
+    /** Launch a reduction of `inputs` into a fresh scalar store. */
+    NDArray reduction(TaskTypeId type, const char *name,
+                      std::initializer_list<const NDArray *> inputs);
+
+    /** Launch a scalar-store op over single-point domain. */
+    NDArray scalarOp(TaskTypeId type, const char *name,
+                     std::initializer_list<const NDArray *> inputs);
+
+    DiffuseRuntime &rt_;
+    OpTable ops_;
+};
+
+/**
+ * A distributed array handle: a store plus a rectangular view window.
+ * Copying the handle shares the underlying store (NumPy reference
+ * semantics); slicing yields aliasing views.
+ */
+class NDArray
+{
+  public:
+    NDArray() = default;
+
+    /** View shape. */
+    Point shape() const;
+    int dim() const { return view_.dim(); }
+    coord_t size() const { return view_.volume(); }
+
+    /** 2-D slicing: rows [r0, r1), cols [c0, c1) relative to view. */
+    NDArray slice2d(coord_t r0, coord_t r1, coord_t c0, coord_t c1) const;
+    /** 1-D slicing: [lo, hi) relative to view. */
+    NDArray slice(coord_t lo, coord_t hi) const;
+
+    StoreId store() const { return impl_ ? impl_->store : INVALID_STORE; }
+    const Rect &view() const { return view_; }
+    bool valid() const { return impl_ != nullptr; }
+
+    /** Is this a whole-store view? */
+    bool wholeStore() const;
+
+    /**
+     * The Tiling partition through which tasks access this view with
+     * one point per processor (or the None partition for scalars).
+     */
+    PartitionDesc partition(int procs) const;
+
+  private:
+    friend class Context;
+
+    struct Impl
+    {
+        DiffuseRuntime *rt = nullptr;
+        StoreId store = INVALID_STORE;
+        Rect shape;
+
+        ~Impl()
+        {
+            if (rt)
+                rt->releaseApp(store);
+        }
+    };
+
+    NDArray(std::shared_ptr<Impl> impl, const Rect &view)
+        : impl_(std::move(impl)), view_(view)
+    {}
+
+    std::shared_ptr<Impl> impl_;
+    Rect view_;
+};
+
+} // namespace num
+} // namespace diffuse
+
+#endif // DIFFUSE_CUNUMERIC_NDARRAY_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The JIT compiler driver: composes generated task bodies, runs the
+ * optimization pipeline, and accounts compilation time (paper §6.3 and
+ * §7.2). Wall time of our own passes is measured; a synthetic backend
+ * cost models the MLIR→LLVM→PTX lowering we do not perform (see
+ * DESIGN.md substitutions).
+ */
+
+#ifndef DIFFUSE_KERNEL_COMPILER_H
+#define DIFFUSE_KERNEL_COMPILER_H
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernel/exec.h"
+#include "kernel/ir.h"
+#include "kernel/passes.h"
+
+namespace diffuse {
+namespace kir {
+
+/** An executable kernel plus its compilation record. */
+struct CompiledKernel
+{
+    KernelFunction fn;
+    PipelineStats pipeline;
+    CompileCost cost;
+};
+
+/** Aggregate compilation statistics for a whole run. */
+struct CompilerStats
+{
+    int kernelsCompiled = 0;
+    double measuredSeconds = 0.0;
+    double modeledSeconds = 0.0;
+    int loopsFused = 0;
+    int localsEliminated = 0;
+};
+
+/**
+ * Compiles kernel functions. Owns no cache: callers (the memoizer)
+ * decide reuse policy.
+ */
+class JitCompiler
+{
+  public:
+    /**
+     * Compile a single-task kernel: the generated body is optimized
+     * directly (no composition).
+     */
+    std::shared_ptr<CompiledKernel> compileSingle(KernelFunction fn);
+
+    /**
+     * Compile a fused kernel from task parts. Parameters mirror
+     * kir::compose().
+     */
+    std::shared_ptr<CompiledKernel>
+    compileFused(const std::string &name,
+                 std::span<const KernelFunction *const> parts,
+                 std::span<const std::vector<int>> buffer_maps,
+                 std::span<const std::vector<int>> scalar_maps,
+                 std::vector<BufferInfo> fused_buffers, int num_args,
+                 int num_scalars);
+
+    const CompilerStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CompilerStats(); }
+
+  private:
+    std::shared_ptr<CompiledKernel> finish(KernelFunction fn,
+                                           double wall_start);
+
+    CompilerStats stats_;
+};
+
+/** Monotonic wall-clock seconds. */
+double wallSeconds();
+
+} // namespace kir
+} // namespace diffuse
+
+#endif // DIFFUSE_KERNEL_COMPILER_H

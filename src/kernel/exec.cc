@@ -1,0 +1,373 @@
+#include "exec.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace diffuse {
+namespace kir {
+
+namespace {
+
+/** Read an element of an index-typed binding as coord_t. */
+inline coord_t
+readIndex(const BufferBinding &b, coord_t i)
+{
+    switch (b.dtype) {
+      case DType::I32:
+        return static_cast<const std::int32_t *>(b.base)[i];
+      case DType::I64:
+        return static_cast<const std::int64_t *>(b.base)[i];
+      case DType::F64:
+        return coord_t(static_cast<const double *>(b.base)[i]);
+    }
+    return 0;
+}
+
+inline double
+applyReduce(ReductionOp op, double acc, double v)
+{
+    switch (op) {
+      case ReductionOp::Sum:
+        return acc + v;
+      case ReductionOp::Max:
+        return acc > v ? acc : v;
+      case ReductionOp::Min:
+        return acc < v ? acc : v;
+    }
+    return acc;
+}
+
+/**
+ * Extents of buffer `buf`. External buffers read their binding; local
+ * buffers inherit the extents of any external argument sharing their
+ * shape class (locals always have the shape of the store they replaced,
+ * and a fused task always retains at least one argument of that shape).
+ */
+struct Extents
+{
+    int dims = 1;
+    coord_t e[2] = {1, 1};
+
+    coord_t
+    volume() const
+    {
+        coord_t v = 1;
+        for (int i = 0; i < dims; i++)
+            v *= e[i];
+        return v;
+    }
+};
+
+Extents
+resolveExtents(const KernelFunction &fn, int buf,
+               std::span<const BufferBinding> ext_bindings)
+{
+    Extents out;
+    if (buf < fn.numArgs) {
+        const BufferBinding &b = ext_bindings[buf];
+        out.dims = b.dims;
+        out.e[0] = b.extent[0];
+        out.e[1] = b.extent[1];
+        return out;
+    }
+    int want = fn.buffers[buf].shapeClass;
+    for (int a = 0; a < fn.numArgs; a++) {
+        if (fn.buffers[a].shapeClass == want) {
+            const BufferBinding &b = ext_bindings[a];
+            out.dims = b.dims;
+            out.e[0] = b.extent[0];
+            out.e[1] = b.extent[1];
+            return out;
+        }
+    }
+    diffuse_panic("no external argument shares shape class %d with "
+                  "local buffer %d of %s",
+                  want, buf, fn.name.c_str());
+}
+
+} // namespace
+
+TaskCost
+profileCost(const KernelFunction &fn,
+            std::span<const BufferBinding> bindings)
+{
+    TaskCost total;
+    for (const LoopNest &nest : fn.nests) {
+        if (nest.kind == NestKind::Gemv) {
+            Extents a = resolveExtents(fn, nest.gemvA, bindings);
+            coord_t rows = a.e[0];
+            coord_t cols = a.e[1];
+            TaskCost c;
+            c.elements = rows * cols;
+            c.bytes = double(rows * cols + cols + rows) * 8.0;
+            c.wflops = 2.0 * double(rows) * double(cols);
+            total += c;
+            continue;
+        }
+        if (nest.kind == NestKind::Csr) {
+            const BufferBinding &vals = bindings[nest.csrVals];
+            const BufferBinding &colind = bindings[nest.csrColind];
+            Extents y = resolveExtents(fn, nest.csrY, bindings);
+            coord_t nnz = vals.irregular >= 0 ? vals.irregular
+                                              : vals.volume();
+            coord_t rows = y.e[0];
+            double idx_bytes = double(dtypeSize(colind.dtype));
+            TaskCost c;
+            c.elements = nnz;
+            c.bytes = double(nnz) * (8.0 + idx_bytes + 8.0) +
+                      double(rows + 1) * 8.0 + double(rows) * 8.0;
+            c.wflops = 2.0 * double(nnz);
+            total += c;
+            continue;
+        }
+        // Dense nest: traffic = distinct non-broadcast buffers touched;
+        // broadcast (extent-1) reads stay in registers.
+        Extents dom = resolveExtents(fn, nest.domainBuf, bindings);
+        coord_t elems = dom.volume();
+        std::unordered_set<int> loaded, stored;
+        double flops_per_elem = 0.0;
+        for (const Instr &i : nest.body) {
+            flops_per_elem += opFlopWeight(i.op);
+            if (i.op == Op::LoadBuf)
+                loaded.insert(i.buf);
+            else if (i.op == Op::StoreBuf)
+                stored.insert(i.buf);
+        }
+        double bytes_per_elem = 0.0;
+        for (int b : loaded) {
+            Extents e = resolveExtents(fn, b, bindings);
+            if (e.volume() > 1)
+                bytes_per_elem += double(dtypeSize(fn.buffers[b].dtype));
+        }
+        for (int b : stored)
+            bytes_per_elem += double(dtypeSize(fn.buffers[b].dtype));
+        flops_per_elem += double(nest.reductions.size());
+        TaskCost c;
+        c.elements = elems;
+        c.bytes = bytes_per_elem * double(elems);
+        c.wflops = flops_per_elem * double(elems);
+        total += c;
+    }
+    return total;
+}
+
+void
+Executor::run(const KernelFunction &fn,
+              std::span<const BufferBinding> bindings,
+              std::span<const double> scalars)
+{
+    diffuse_assert(int(bindings.size()) >= fn.numArgs,
+                   "executor: %zu bindings for %d args of %s",
+                   bindings.size(), fn.numArgs, fn.name.c_str());
+
+    // Build the full binding table: external args, then locals.
+    all_.assign(bindings.begin(), bindings.begin() + fn.numArgs);
+    localStorage_.clear();
+    all_.resize(fn.buffers.size());
+    for (std::size_t b = fn.numArgs; b < fn.buffers.size(); b++) {
+        const BufferInfo &info = fn.buffers[b];
+        diffuse_assert(info.isLocal, "non-local buffer %zu beyond args",
+                       b);
+        if (info.eliminated)
+            continue;
+        Extents e = resolveExtents(fn, int(b), bindings);
+        BufferBinding bind;
+        bind.dims = e.dims;
+        bind.extent[0] = e.e[0];
+        bind.extent[1] = e.e[1];
+        localStorage_.emplace_back(std::size_t(e.volume()), 0.0);
+        bind.base = localStorage_.back().data();
+        bind.stride[bind.dims - 1] = 1;
+        if (bind.dims == 2)
+            bind.stride[0] = bind.extent[1];
+        all_[b] = bind;
+    }
+
+    for (const LoopNest &nest : fn.nests) {
+        switch (nest.kind) {
+          case NestKind::Dense:
+            runDense(fn, nest, all_, scalars);
+            break;
+          case NestKind::Gemv:
+            runGemv(nest, all_);
+            break;
+          case NestKind::Csr:
+            runCsr(nest, all_);
+            break;
+        }
+    }
+}
+
+void
+Executor::runDense(const KernelFunction &fn, const LoopNest &nest,
+                   std::span<const BufferBinding> bindings,
+                   std::span<const double> scalars)
+{
+    Extents dom = resolveExtents(fn, nest.domainBuf,
+                                 bindings.subspan(0, fn.numArgs));
+    coord_t rows = dom.e[0];
+    coord_t cols = dom.dims == 2 ? dom.e[1] : 1;
+
+    regs_.assign(std::size_t(registerCount(nest.body)), 0.0);
+    double *regs = regs_.data();
+
+    std::vector<double> partials(nest.reductions.size());
+    for (std::size_t r = 0; r < nest.reductions.size(); r++)
+        partials[r] = reductionIdentity(nest.reductions[r].op);
+
+    auto address = [](const BufferBinding &b, coord_t i,
+                      coord_t j) -> coord_t {
+        coord_t ii = b.extent[0] == 1 ? 0 : i;
+        if (b.dims == 2) {
+            coord_t jj = b.extent[1] == 1 ? 0 : j;
+            return ii * b.stride[0] + jj * b.stride[1];
+        }
+        return ii * b.stride[0];
+    };
+
+    for (coord_t i = 0; i < rows; i++) {
+        for (coord_t j = 0; j < cols; j++) {
+            for (const Instr &ins : nest.body) {
+                switch (ins.op) {
+                  case Op::LoadBuf: {
+                    const BufferBinding &b = bindings[ins.buf];
+                    regs[ins.dst] = static_cast<const double *>(
+                        b.base)[address(b, i, j)];
+                    break;
+                  }
+                  case Op::StoreBuf: {
+                    const BufferBinding &b = bindings[ins.buf];
+                    static_cast<double *>(b.base)[address(b, i, j)] =
+                        regs[ins.a];
+                    break;
+                  }
+                  case Op::LoadScalar:
+                    regs[ins.dst] = scalars[ins.scalar];
+                    break;
+                  case Op::Const:
+                    regs[ins.dst] = ins.imm;
+                    break;
+                  case Op::Copy:
+                    regs[ins.dst] = regs[ins.a];
+                    break;
+                  case Op::Add:
+                    regs[ins.dst] = regs[ins.a] + regs[ins.b];
+                    break;
+                  case Op::Sub:
+                    regs[ins.dst] = regs[ins.a] - regs[ins.b];
+                    break;
+                  case Op::Mul:
+                    regs[ins.dst] = regs[ins.a] * regs[ins.b];
+                    break;
+                  case Op::Div:
+                    regs[ins.dst] = regs[ins.a] / regs[ins.b];
+                    break;
+                  case Op::Max:
+                    regs[ins.dst] = regs[ins.a] > regs[ins.b]
+                                        ? regs[ins.a]
+                                        : regs[ins.b];
+                    break;
+                  case Op::Min:
+                    regs[ins.dst] = regs[ins.a] < regs[ins.b]
+                                        ? regs[ins.a]
+                                        : regs[ins.b];
+                    break;
+                  case Op::Pow:
+                    regs[ins.dst] = std::pow(regs[ins.a], regs[ins.b]);
+                    break;
+                  case Op::Neg:
+                    regs[ins.dst] = -regs[ins.a];
+                    break;
+                  case Op::Sqrt:
+                    regs[ins.dst] = std::sqrt(regs[ins.a]);
+                    break;
+                  case Op::Exp:
+                    regs[ins.dst] = std::exp(regs[ins.a]);
+                    break;
+                  case Op::Log:
+                    regs[ins.dst] = std::log(regs[ins.a]);
+                    break;
+                  case Op::Erf:
+                    regs[ins.dst] = std::erf(regs[ins.a]);
+                    break;
+                  case Op::Abs:
+                    regs[ins.dst] = std::fabs(regs[ins.a]);
+                    break;
+                  case Op::CmpLt:
+                    regs[ins.dst] =
+                        regs[ins.a] < regs[ins.b] ? 1.0 : 0.0;
+                    break;
+                  case Op::CmpGt:
+                    regs[ins.dst] =
+                        regs[ins.a] > regs[ins.b] ? 1.0 : 0.0;
+                    break;
+                  case Op::Select:
+                    regs[ins.dst] = regs[ins.a] != 0.0 ? regs[ins.b]
+                                                       : regs[ins.c];
+                    break;
+                }
+            }
+            for (std::size_t r = 0; r < nest.reductions.size(); r++) {
+                partials[r] =
+                    applyReduce(nest.reductions[r].op, partials[r],
+                                regs[nest.reductions[r].srcReg]);
+            }
+        }
+    }
+
+    for (std::size_t r = 0; r < nest.reductions.size(); r++) {
+        const Reduction &red = nest.reductions[r];
+        const BufferBinding &acc = bindings[red.accBuf];
+        double *p = static_cast<double *>(acc.base);
+        *p = applyReduce(red.op, *p, partials[r]);
+    }
+}
+
+void
+Executor::runGemv(const LoopNest &nest,
+                  std::span<const BufferBinding> bindings)
+{
+    const BufferBinding &a = bindings[nest.gemvA];
+    const BufferBinding &x = bindings[nest.gemvX];
+    const BufferBinding &y = bindings[nest.gemvY];
+    coord_t rows = a.extent[0];
+    coord_t cols = a.extent[1];
+    const double *ap = static_cast<const double *>(a.base);
+    const double *xp = static_cast<const double *>(x.base);
+    double *yp = static_cast<double *>(y.base);
+    for (coord_t i = 0; i < rows; i++) {
+        double sum = 0.0;
+        const double *row = ap + i * a.stride[0];
+        for (coord_t j = 0; j < cols; j++)
+            sum += row[j * a.stride[1]] * xp[j * x.stride[0]];
+        yp[i * y.stride[0]] = sum;
+    }
+}
+
+void
+Executor::runCsr(const LoopNest &nest,
+                 std::span<const BufferBinding> bindings)
+{
+    const BufferBinding &rowptr = bindings[nest.csrRowptr];
+    const BufferBinding &colind = bindings[nest.csrColind];
+    const BufferBinding &vals = bindings[nest.csrVals];
+    const BufferBinding &x = bindings[nest.csrX];
+    const BufferBinding &y = bindings[nest.csrY];
+    coord_t rows = y.extent[0];
+    const double *vp = static_cast<const double *>(vals.base);
+    const double *xp = static_cast<const double *>(x.base);
+    double *yp = static_cast<double *>(y.base);
+    for (coord_t i = 0; i < rows; i++) {
+        coord_t begin = readIndex(rowptr, i);
+        coord_t end = readIndex(rowptr, i + 1);
+        double sum = 0.0;
+        for (coord_t k = begin; k < end; k++)
+            sum += vp[k] * xp[readIndex(colind, k) * x.stride[0]];
+        yp[i * y.stride[0]] = sum;
+    }
+}
+
+} // namespace kir
+} // namespace diffuse

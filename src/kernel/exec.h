@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Kernel execution and cost profiling.
+ *
+ * The Executor interprets optimized kernel functions over buffer
+ * bindings. A binding is a strided view of a physical allocation — the
+ * moral equivalent of the memrefs the paper's MLIR kernels receive. In
+ * Real execution mode bindings carry live pointers and the interpreter
+ * computes actual values; in Simulated mode bindings carry extents only
+ * and just the cost profile is evaluated.
+ *
+ * Broadcasting: a binding whose extent along a dimension is 1 always
+ * contributes index 0 along that dimension, which is how scalar stores
+ * (shape (1,)) participate in dense element-wise bodies.
+ */
+
+#ifndef DIFFUSE_KERNEL_EXEC_H
+#define DIFFUSE_KERNEL_EXEC_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/types.h"
+#include "kernel/ir.h"
+
+namespace diffuse {
+namespace kir {
+
+/** A strided view of a physical allocation bound to a kernel buffer. */
+struct BufferBinding
+{
+    void *base = nullptr; ///< pointer to the view origin; null in sim mode
+    DType dtype = DType::F64;
+    int dims = 1;
+    coord_t extent[2] = {1, 1};  ///< view extents
+    coord_t stride[2] = {0, 0};  ///< strides in elements of the parent
+    /** Element count for irregular (CSR nnz) views; <0 when dense. */
+    coord_t irregular = -1;
+
+    coord_t
+    volume() const
+    {
+        coord_t v = 1;
+        for (int i = 0; i < dims; i++)
+            v *= extent[i];
+        return v;
+    }
+};
+
+/** Aggregate cost of executing one point task. */
+struct TaskCost
+{
+    double bytes = 0.0;  ///< HBM traffic in bytes
+    double wflops = 0.0; ///< weighted floating-point operations
+    coord_t elements = 0;
+
+    TaskCost &
+    operator+=(const TaskCost &o)
+    {
+        bytes += o.bytes;
+        wflops += o.wflops;
+        elements += o.elements;
+        return *this;
+    }
+};
+
+/**
+ * Compute the cost profile of running `fn` over the given bindings.
+ * Pure function of the IR and view extents; used identically in Real
+ * and Simulated modes so the two agree.
+ */
+TaskCost profileCost(const KernelFunction &fn,
+                     std::span<const BufferBinding> bindings);
+
+/**
+ * Interprets kernel functions. Stateless apart from scratch storage
+ * reused across calls.
+ */
+class Executor
+{
+  public:
+    /**
+     * Execute `fn` over `bindings` with the given scalar arguments.
+     * Bindings must cover the external arguments; live local buffers
+     * are allocated internally. Reduction accumulators are combined
+     * into their bound memory with the reduction operator.
+     */
+    void run(const KernelFunction &fn,
+             std::span<const BufferBinding> bindings,
+             std::span<const double> scalars);
+
+  private:
+    void runDense(const KernelFunction &fn, const LoopNest &nest,
+                  std::span<const BufferBinding> bindings,
+                  std::span<const double> scalars);
+    void runGemv(const LoopNest &nest,
+                 std::span<const BufferBinding> bindings);
+    void runCsr(const LoopNest &nest,
+                std::span<const BufferBinding> bindings);
+
+    /** Bindings table extended with allocations for local buffers. */
+    std::vector<BufferBinding> all_;
+    std::vector<std::vector<double>> localStorage_;
+    std::vector<double> regs_;
+};
+
+} // namespace kir
+} // namespace diffuse
+
+#endif // DIFFUSE_KERNEL_EXEC_H

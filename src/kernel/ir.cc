@@ -1,0 +1,137 @@
+#include "ir.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace diffuse {
+namespace kir {
+
+double
+opFlopWeight(Op op)
+{
+    switch (op) {
+      case Op::LoadBuf:
+      case Op::StoreBuf:
+      case Op::LoadScalar:
+      case Op::Const:
+      case Op::Copy:
+        return 0.0;
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::Neg:
+      case Op::Abs:
+      case Op::Max:
+      case Op::Min:
+      case Op::CmpLt:
+      case Op::CmpGt:
+      case Op::Select:
+        return 1.0;
+      case Op::Div:
+        return 4.0;
+      case Op::Sqrt:
+        return 4.0;
+      case Op::Exp:
+      case Op::Log:
+        return 16.0;
+      case Op::Erf:
+        return 24.0;
+      case Op::Pow:
+        return 32.0;
+    }
+    return 1.0;
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::LoadBuf: return "load";
+      case Op::StoreBuf: return "store";
+      case Op::LoadScalar: return "scalar";
+      case Op::Const: return "const";
+      case Op::Copy: return "copy";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Max: return "max";
+      case Op::Min: return "min";
+      case Op::Pow: return "pow";
+      case Op::Neg: return "neg";
+      case Op::Sqrt: return "sqrt";
+      case Op::Exp: return "exp";
+      case Op::Log: return "log";
+      case Op::Erf: return "erf";
+      case Op::Abs: return "abs";
+      case Op::CmpLt: return "cmplt";
+      case Op::CmpGt: return "cmpgt";
+      case Op::Select: return "select";
+    }
+    return "?";
+}
+
+int
+registerCount(const std::vector<Instr> &body)
+{
+    int n = 0;
+    for (const auto &i : body) {
+        n = std::max(n, i.dst + 1);
+        n = std::max(n, i.a + 1);
+        n = std::max(n, i.b + 1);
+        n = std::max(n, i.c + 1);
+    }
+    return n;
+}
+
+std::string
+KernelFunction::dump() const
+{
+    std::ostringstream ss;
+    ss << "func @" << name << "(args=" << numArgs
+       << ", scalars=" << numScalars << ")\n";
+    for (std::size_t b = 0; b < buffers.size(); b++) {
+        const auto &info = buffers[b];
+        ss << "  buf %" << b << " dims=" << info.dims
+           << (info.isLocal ? " local" : " arg")
+           << (info.eliminated ? " eliminated" : "")
+           << " alias=" << info.aliasClass
+           << " shape=" << info.shapeClass << "\n";
+    }
+    for (std::size_t n = 0; n < nests.size(); n++) {
+        const auto &nest = nests[n];
+        const char *kind =
+            nest.kind == NestKind::Dense
+                ? "dense"
+                : (nest.kind == NestKind::Gemv ? "gemv" : "csr");
+        ss << "  nest " << n << " [" << kind << "] over %"
+           << nest.domainBuf << "\n";
+        for (const auto &i : nest.body) {
+            ss << "    ";
+            if (i.dst >= 0)
+                ss << "r" << i.dst << " = ";
+            ss << opName(i.op);
+            if (i.buf >= 0)
+                ss << " %" << i.buf;
+            if (i.scalar >= 0)
+                ss << " s" << i.scalar;
+            if (i.op == Op::Const)
+                ss << " " << i.imm;
+            if (i.a >= 0)
+                ss << " r" << i.a;
+            if (i.b >= 0)
+                ss << " r" << i.b;
+            if (i.c >= 0)
+                ss << " r" << i.c;
+            ss << "\n";
+        }
+        for (const auto &r : nest.reductions) {
+            ss << "    reduce %" << r.accBuf << " "
+               << reductionOpName(r.op) << " r" << r.srcReg << "\n";
+        }
+    }
+    return ss.str();
+}
+
+} // namespace kir
+} // namespace diffuse

@@ -1,0 +1,432 @@
+#include "passes.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace diffuse {
+namespace kir {
+
+KernelFunction
+compose(const std::string &name,
+        std::span<const KernelFunction *const> parts,
+        std::span<const std::vector<int>> buffer_maps,
+        std::span<const std::vector<int>> scalar_maps,
+        std::vector<BufferInfo> fused_buffers, int num_args,
+        int num_scalars)
+{
+    diffuse_assert(parts.size() == buffer_maps.size() &&
+                       parts.size() == scalar_maps.size(),
+                   "compose: inconsistent part metadata");
+
+    KernelFunction fn;
+    fn.name = name;
+    fn.numArgs = num_args;
+    fn.numScalars = num_scalars;
+    fn.buffers = std::move(fused_buffers);
+
+    for (std::size_t t = 0; t < parts.size(); t++) {
+        const KernelFunction &part = *parts[t];
+        const std::vector<int> &bmap_in = buffer_maps[t];
+        const std::vector<int> &smap = scalar_maps[t];
+
+        // Extend the buffer map with the part's own local buffers.
+        std::vector<int> bmap = bmap_in;
+        bmap.resize(part.buffers.size(), -1);
+        for (std::size_t b = 0; b < part.buffers.size(); b++) {
+            if (bmap[b] >= 0)
+                continue;
+            diffuse_assert(part.buffers[b].isLocal,
+                           "compose: unmapped external buffer %zu of %s",
+                           b, part.name.c_str());
+            fn.buffers.push_back(part.buffers[b]);
+            bmap[b] = int(fn.buffers.size()) - 1;
+        }
+
+        for (const LoopNest &nest : part.nests) {
+            LoopNest out = nest;
+            out.domainBuf = bmap[nest.domainBuf];
+            if (out.kind == NestKind::Gemv) {
+                out.gemvA = bmap[nest.gemvA];
+                out.gemvX = bmap[nest.gemvX];
+                out.gemvY = bmap[nest.gemvY];
+            } else if (out.kind == NestKind::Csr) {
+                out.csrRowptr = bmap[nest.csrRowptr];
+                out.csrColind = bmap[nest.csrColind];
+                out.csrVals = bmap[nest.csrVals];
+                out.csrX = bmap[nest.csrX];
+                out.csrY = bmap[nest.csrY];
+            }
+            for (Instr &i : out.body) {
+                if (i.buf >= 0)
+                    i.buf = bmap[i.buf];
+                if (i.scalar >= 0) {
+                    diffuse_assert(i.scalar < int(smap.size()),
+                                   "compose: scalar %d unmapped in %s",
+                                   i.scalar, part.name.c_str());
+                    i.scalar = smap[i.scalar];
+                }
+            }
+            for (Reduction &r : out.reductions)
+                r.accBuf = bmap[r.accBuf];
+            fn.nests.push_back(std::move(out));
+        }
+    }
+    return fn;
+}
+
+namespace {
+
+/** Buffers read and written by a nest (reduction accs count as writes). */
+struct NestAccess
+{
+    std::unordered_set<int> reads;
+    std::unordered_set<int> writes;
+    /** Reduction accumulators: complete only after the whole loop. */
+    std::unordered_set<int> reduceAccs;
+};
+
+NestAccess
+accessesOf(const LoopNest &nest)
+{
+    NestAccess acc;
+    if (nest.kind == NestKind::Gemv) {
+        acc.reads.insert(nest.gemvA);
+        acc.reads.insert(nest.gemvX);
+        acc.writes.insert(nest.gemvY);
+        return acc;
+    }
+    if (nest.kind == NestKind::Csr) {
+        acc.reads.insert(nest.csrRowptr);
+        acc.reads.insert(nest.csrColind);
+        acc.reads.insert(nest.csrVals);
+        acc.reads.insert(nest.csrX);
+        acc.writes.insert(nest.csrY);
+        return acc;
+    }
+    for (const Instr &i : nest.body) {
+        if (i.op == Op::LoadBuf)
+            acc.reads.insert(i.buf);
+        else if (i.op == Op::StoreBuf)
+            acc.writes.insert(i.buf);
+    }
+    for (const Reduction &r : nest.reductions) {
+        acc.writes.insert(r.accBuf);
+        acc.reduceAccs.insert(r.accBuf);
+    }
+    return acc;
+}
+
+/** May two distinct buffers overlap in memory? */
+bool
+mayAlias(const KernelFunction &fn, int a, int b)
+{
+    if (a == b)
+        return true;
+    const BufferInfo &ba = fn.buffers[a];
+    const BufferInfo &bb = fn.buffers[b];
+    if (ba.isLocal || bb.isLocal)
+        return false; // locals are distinct allocations
+    return ba.aliasClass >= 0 && ba.aliasClass == bb.aliasClass;
+}
+
+/**
+ * Can `later` be merged into `earlier`? Requires matching dense domains
+ * and no cross-nest dependence through distinct aliasing buffers.
+ * Same-buffer producer/consumer pairs are fine: dense bodies access
+ * every buffer at the canonical loop index, so the dependence distance
+ * is zero and fusion preserves it.
+ */
+bool
+canMerge(const KernelFunction &fn, const LoopNest &earlier,
+         const LoopNest &later)
+{
+    if (earlier.kind != NestKind::Dense || later.kind != NestKind::Dense)
+        return false;
+    const BufferInfo &d0 = fn.buffers[earlier.domainBuf];
+    const BufferInfo &d1 = fn.buffers[later.domainBuf];
+    if (d0.shapeClass < 0 || d0.shapeClass != d1.shapeClass)
+        return false;
+    if (d0.dims != d1.dims)
+        return false;
+
+    NestAccess a0 = accessesOf(earlier);
+    NestAccess a1 = accessesOf(later);
+    // Reduction accumulators carry a loop-level dependence: they are
+    // complete only after the whole nest, so any access to them from
+    // the other nest (even through the very same buffer) is a fusion
+    // barrier — the nests must stay sequential.
+    for (int acc : a0.reduceAccs) {
+        if (a1.reads.count(acc) || a1.writes.count(acc))
+            return false;
+    }
+    for (int acc : a1.reduceAccs) {
+        if (a0.reads.count(acc) || a0.writes.count(acc))
+            return false;
+    }
+    for (int w : a0.writes) {
+        for (int r : a1.reads) {
+            if (w != r && mayAlias(fn, w, r))
+                return false;
+        }
+        for (int w1 : a1.writes) {
+            if (w != w1 && mayAlias(fn, w, w1))
+                return false;
+        }
+    }
+    for (int r : a0.reads) {
+        for (int w1 : a1.writes) {
+            if (r != w1 && mayAlias(fn, r, w1))
+                return false;
+            // Same buffer read-then-written across nests is a
+            // same-index anti-dependence; safe under fusion because
+            // the merged body keeps program order per element.
+        }
+    }
+    return true;
+}
+
+void
+mergeInto(LoopNest &dst, const LoopNest &src)
+{
+    int offset = registerCount(dst.body);
+    for (Instr i : src.body) {
+        if (i.dst >= 0)
+            i.dst += offset;
+        if (i.a >= 0)
+            i.a += offset;
+        if (i.b >= 0)
+            i.b += offset;
+        if (i.c >= 0)
+            i.c += offset;
+        dst.body.push_back(i);
+    }
+    for (Reduction r : src.reductions) {
+        r.srcReg += offset;
+        dst.reductions.push_back(r);
+    }
+}
+
+} // namespace
+
+int
+fuseLoops(KernelFunction &fn)
+{
+    int merges = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i + 1 < fn.nests.size(); i++) {
+            if (canMerge(fn, fn.nests[i], fn.nests[i + 1])) {
+                mergeInto(fn.nests[i], fn.nests[i + 1]);
+                fn.nests.erase(fn.nests.begin() + i + 1);
+                merges++;
+                changed = true;
+                break;
+            }
+        }
+    }
+    return merges;
+}
+
+int
+forwardStores(KernelFunction &fn)
+{
+    int forwarded = 0;
+    for (LoopNest &nest : fn.nests) {
+        if (nest.kind != NestKind::Dense)
+            continue;
+        // lastStore[buf] = register whose value buf holds at this point.
+        std::unordered_map<int, int> last_store;
+        // Register alias map from removed loads.
+        std::unordered_map<int, int> alias;
+        auto resolve = [&](std::int32_t r) -> std::int32_t {
+            auto it = alias.find(r);
+            return it == alias.end() ? r : it->second;
+        };
+        std::vector<Instr> out;
+        out.reserve(nest.body.size());
+        for (Instr i : nest.body) {
+            i.a = i.a >= 0 ? resolve(i.a) : i.a;
+            i.b = i.b >= 0 ? resolve(i.b) : i.b;
+            i.c = i.c >= 0 ? resolve(i.c) : i.c;
+            if (i.op == Op::LoadBuf) {
+                auto it = last_store.find(i.buf);
+                if (it != last_store.end()) {
+                    alias[i.dst] = it->second;
+                    forwarded++;
+                    continue; // load removed
+                }
+            } else if (i.op == Op::StoreBuf) {
+                // A store through any aliasing buffer invalidates
+                // forwarding for the whole alias class.
+                const BufferInfo &bi = fn.buffers[i.buf];
+                if (!bi.isLocal && bi.aliasClass >= 0) {
+                    for (auto it = last_store.begin();
+                         it != last_store.end();) {
+                        const BufferInfo &ob = fn.buffers[it->first];
+                        bool clash = it->first != i.buf &&
+                                     !ob.isLocal &&
+                                     ob.aliasClass == bi.aliasClass;
+                        it = clash ? last_store.erase(it) : ++it;
+                    }
+                }
+                last_store[i.buf] = i.a;
+            }
+            out.push_back(i);
+        }
+        for (Reduction &r : nest.reductions)
+            r.srcReg = resolve(r.srcReg);
+        nest.body = std::move(out);
+    }
+    return forwarded;
+}
+
+int
+deadCodeElim(KernelFunction &fn)
+{
+    int removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // 1. Local buffers with no loads anywhere lose their stores.
+        std::unordered_set<int> loaded;
+        for (const LoopNest &nest : fn.nests) {
+            if (nest.kind == NestKind::Gemv) {
+                loaded.insert(nest.gemvA);
+                loaded.insert(nest.gemvX);
+            } else if (nest.kind == NestKind::Csr) {
+                loaded.insert(nest.csrRowptr);
+                loaded.insert(nest.csrColind);
+                loaded.insert(nest.csrVals);
+                loaded.insert(nest.csrX);
+            }
+            for (const Instr &i : nest.body) {
+                if (i.op == Op::LoadBuf)
+                    loaded.insert(i.buf);
+            }
+        }
+        for (LoopNest &nest : fn.nests) {
+            if (nest.kind != NestKind::Dense)
+                continue;
+            auto is_dead_store = [&](const Instr &i) {
+                return i.op == Op::StoreBuf &&
+                       fn.buffers[i.buf].isLocal &&
+                       !loaded.count(i.buf);
+            };
+            auto it = std::remove_if(nest.body.begin(), nest.body.end(),
+                                     is_dead_store);
+            if (it != nest.body.end()) {
+                removed += int(nest.body.end() - it);
+                nest.body.erase(it, nest.body.end());
+                changed = true;
+            }
+        }
+
+        // 2. Mark never-accessed locals eliminated. A nest whose
+        // domain anchor is such a local is re-anchored to an external
+        // buffer of the same shape class first (extents are equal by
+        // definition of shape classes), so the anchor does not keep
+        // the local alive.
+        std::unordered_set<int> accessed;
+        for (const LoopNest &nest : fn.nests) {
+            NestAccess acc = accessesOf(nest);
+            accessed.insert(acc.reads.begin(), acc.reads.end());
+            accessed.insert(acc.writes.begin(), acc.writes.end());
+        }
+        for (LoopNest &nest : fn.nests) {
+            const BufferInfo &dom = fn.buffers[nest.domainBuf];
+            if (dom.isLocal && !accessed.count(nest.domainBuf)) {
+                for (int a = 0; a < fn.numArgs; a++) {
+                    if (fn.buffers[a].shapeClass == dom.shapeClass &&
+                        !fn.buffers[a].eliminated) {
+                        nest.domainBuf = a;
+                        break;
+                    }
+                }
+            }
+            accessed.insert(nest.domainBuf);
+        }
+        for (std::size_t b = 0; b < fn.buffers.size(); b++) {
+            BufferInfo &bi = fn.buffers[b];
+            if (bi.isLocal && !bi.eliminated && !accessed.count(int(b))) {
+                bi.eliminated = true;
+                changed = true;
+            }
+        }
+
+        // 3. Register liveness within each dense body (backwards).
+        for (LoopNest &nest : fn.nests) {
+            if (nest.kind != NestKind::Dense)
+                continue;
+            std::unordered_set<int> live;
+            for (const Reduction &r : nest.reductions)
+                live.insert(r.srcReg);
+            std::vector<bool> keep(nest.body.size(), false);
+            for (int i = int(nest.body.size()) - 1; i >= 0; i--) {
+                const Instr &ins = nest.body[i];
+                bool side_effect = ins.op == Op::StoreBuf;
+                bool needed = side_effect ||
+                              (ins.dst >= 0 && live.count(ins.dst));
+                if (!needed)
+                    continue;
+                keep[i] = true;
+                if (ins.a >= 0)
+                    live.insert(ins.a);
+                if (ins.b >= 0)
+                    live.insert(ins.b);
+                if (ins.c >= 0)
+                    live.insert(ins.c);
+            }
+            std::vector<Instr> out;
+            out.reserve(nest.body.size());
+            for (std::size_t i = 0; i < nest.body.size(); i++) {
+                if (keep[i])
+                    out.push_back(nest.body[i]);
+                else {
+                    removed++;
+                    changed = true;
+                }
+            }
+            nest.body = std::move(out);
+        }
+    }
+    return removed;
+}
+
+PipelineStats
+optimize(KernelFunction &fn)
+{
+    PipelineStats stats;
+    int before_locals = fn.liveLocalCount();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        int f = fuseLoops(fn);
+        int s = forwardStores(fn);
+        int d = deadCodeElim(fn);
+        stats.loopsFused += f;
+        stats.loadsForwarded += s;
+        stats.instrsRemoved += d;
+        changed = f > 0 || s > 0 || d > 0;
+    }
+    stats.localsEliminated = before_locals - fn.liveLocalCount();
+    return stats;
+}
+
+double
+backendCodegenSeconds(std::size_t instruction_count,
+                      std::size_t nest_count)
+{
+    // Stand-in for MLIR -> LLVM -> PTX compilation. Calibrated so that
+    // windows of tens of tasks cost tens-to-hundreds of milliseconds,
+    // matching the warmup budgets reported in paper Fig 13.
+    return 0.020 + 2.0e-3 * double(instruction_count) +
+           5.0e-3 * double(nest_count);
+}
+
+} // namespace kir
+} // namespace diffuse

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Compiler passes over the kernel IR — the pipeline a fused task body
+ * traverses (paper §6.3, Fig 8): sequential composition of generated
+ * bodies, promotion of eliminated temporary stores to task-local
+ * allocations, loop fusion, store-to-load forwarding, and dead-code /
+ * dead-temporary elimination.
+ */
+
+#ifndef DIFFUSE_KERNEL_PASSES_H
+#define DIFFUSE_KERNEL_PASSES_H
+
+#include <span>
+#include <vector>
+
+#include "kernel/ir.h"
+
+namespace diffuse {
+namespace kir {
+
+/**
+ * Sequentially compose task bodies into one function (paper Fig 8b).
+ *
+ * @param name Name for the fused function.
+ * @param parts Kernel functions of the tasks in the fused prefix, in
+ *        program order.
+ * @param buffer_maps For each part, a map from its buffer index to a
+ *        buffer index in `fused_buffers`. Entries must cover each part's
+ *        external args; part-local buffers are appended automatically.
+ * @param scalar_maps For each part, a map from its scalar index to a
+ *        fused scalar index.
+ * @param fused_buffers The fused function's buffer table. External
+ *        arguments must come first.
+ * @param num_args Number of external arguments in `fused_buffers`.
+ * @param num_scalars Number of scalars of the fused function.
+ */
+KernelFunction compose(const std::string &name,
+                       std::span<const KernelFunction *const> parts,
+                       std::span<const std::vector<int>> buffer_maps,
+                       std::span<const std::vector<int>> scalar_maps,
+                       std::vector<BufferInfo> fused_buffers,
+                       int num_args, int num_scalars);
+
+/**
+ * Fuse adjacent Dense loop nests (paper Fig 8d). Nests merge when they
+ * iterate identically-shaped domains and no buffer written by the
+ * earlier nest may alias a buffer accessed by the later nest (other
+ * than the identical buffer, whose accesses stay at the same index).
+ *
+ * @return number of merges performed.
+ */
+int fuseLoops(KernelFunction &fn);
+
+/**
+ * Forward stored values to subsequent loads of the same buffer within
+ * each nest (enabled by SSA bodies). After fusion this turns task-local
+ * temporaries into register traffic.
+ *
+ * @return number of loads forwarded.
+ */
+int forwardStores(KernelFunction &fn);
+
+/**
+ * Remove dead instructions and dead task-local buffers: local buffers
+ * with no remaining loads lose their stores and their allocation
+ * (`eliminated` flag). Runs to fixpoint with register liveness.
+ *
+ * @return number of instructions removed.
+ */
+int deadCodeElim(KernelFunction &fn);
+
+/** Statistics from running the full optimization pipeline. */
+struct PipelineStats
+{
+    int loopsFused = 0;
+    int loadsForwarded = 0;
+    int instrsRemoved = 0;
+    int localsEliminated = 0;
+};
+
+/**
+ * Run the post-composition pipeline: fuseLoops, forwardStores,
+ * deadCodeElim, iterated to fixpoint.
+ */
+PipelineStats optimize(KernelFunction &fn);
+
+/**
+ * Compile-time model. `measured` is the wall time of our own pass
+ * pipeline; `modeled` adds a synthetic backend-codegen cost standing in
+ * for the LLVM/PTX lowering the paper's MLIR stack performs (documented
+ * substitution in DESIGN.md).
+ */
+struct CompileCost
+{
+    double measuredSeconds = 0.0;
+    double modeledSeconds = 0.0;
+};
+
+/** Synthetic backend cost for a function of the given size. */
+double backendCodegenSeconds(std::size_t instruction_count,
+                             std::size_t nest_count);
+
+} // namespace kir
+} // namespace diffuse
+
+#endif // DIFFUSE_KERNEL_PASSES_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Task-type registry: maps task type ids to generator functions.
+ *
+ * Library developers (cunumeric-mini, sparse-mini) register a generator
+ * per operation, mirroring the paper's §6.2: "developers register a
+ * generator function with Diffuse that returns an MLIR fragment
+ * describing the task's computation". Generators receive the concrete
+ * argument signature (ranks, dtypes, alias/shape classes) and return a
+ * KernelFunction whose first buffers match the task's store arguments
+ * in order.
+ *
+ * Task types without a generator are *opaque*: Diffuse forwards them
+ * unfused, exactly as it would any task whose implementation was never
+ * exposed in MLIR.
+ */
+
+#ifndef DIFFUSE_KERNEL_REGISTRY_H
+#define DIFFUSE_KERNEL_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+#include "kernel/ir.h"
+
+namespace diffuse {
+namespace kir {
+
+/** Concrete per-argument information handed to a generator. */
+struct ArgInfo
+{
+    int dims = 1;
+    DType dtype = DType::F64;
+    int aliasClass = -1;
+    int shapeClass = -1;
+};
+
+/** Signature of a task instance at generation time. */
+struct GenSignature
+{
+    std::vector<ArgInfo> args;
+    int numScalars = 0;
+
+    /** Convenience: buffer table with args as external buffers. */
+    std::vector<BufferInfo>
+    argBuffers() const
+    {
+        std::vector<BufferInfo> out;
+        out.reserve(args.size());
+        for (const ArgInfo &a : args) {
+            BufferInfo b;
+            b.dims = a.dims;
+            b.dtype = a.dtype;
+            b.aliasClass = a.aliasClass;
+            b.shapeClass = a.shapeClass;
+            out.push_back(b);
+        }
+        return out;
+    }
+};
+
+using GeneratorFn = std::function<KernelFunction(const GenSignature &)>;
+
+/** Registry of task types known to the kernel compiler. */
+class Registry
+{
+  public:
+    /**
+     * Register a task type. Returns its id.
+     * @param name Debug name, also used in fused kernel names.
+     * @param gen Generator, or nullptr for an opaque task type.
+     * @param opaque Force-opaque: the task is never fused even though
+     *        a generator exists (used to model library tasks whose
+     *        bodies were not exposed in MLIR — paper §6.2 notes the
+     *        integration was incremental).
+     */
+    TaskTypeId
+    registerTask(const std::string &name, GeneratorFn gen,
+                 bool opaque = false)
+    {
+        Entry e;
+        e.name = name;
+        e.generator = std::move(gen);
+        e.opaque = opaque;
+        entries_.push_back(std::move(e));
+        return TaskTypeId(entries_.size() - 1);
+    }
+
+    bool
+    isOpaque(TaskTypeId id) const
+    {
+        const Entry &e = entries_.at(id);
+        return e.opaque || !e.generator;
+    }
+
+    const std::string &
+    name(TaskTypeId id) const
+    {
+        return entries_.at(id).name;
+    }
+
+    /** Invoke the generator for `id`. Panics for opaque types. */
+    KernelFunction
+    generate(TaskTypeId id, const GenSignature &sig) const
+    {
+        const Entry &e = entries_.at(id);
+        diffuse_assert(bool(e.generator),
+                       "task type %s is opaque; no generator",
+                       e.name.c_str());
+        KernelFunction fn = e.generator(sig);
+        if (fn.name.empty())
+            fn.name = e.name;
+        return fn;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        GeneratorFn generator;
+        bool opaque = false;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace kir
+} // namespace diffuse
+
+#endif // DIFFUSE_KERNEL_REGISTRY_H

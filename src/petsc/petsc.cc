@@ -1,0 +1,302 @@
+#include "petsc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pmini {
+
+// ---------------------------------------------------------------------
+// Vec
+// ---------------------------------------------------------------------
+
+Vec::Vec(PetscRuntime &rt, coord_t n, double init) : n_(n)
+{
+    if (rt.mode() == Mode::Real)
+        data_.assign(std::size_t(n), init);
+}
+
+coord_t
+Vec::localSize(const PetscRuntime &rt) const
+{
+    int p = rt.machine().totalGpus();
+    return (n_ + p - 1) / p;
+}
+
+// ---------------------------------------------------------------------
+// Mat
+// ---------------------------------------------------------------------
+
+Mat
+Mat::poisson2d(PetscRuntime &rt, coord_t nx, coord_t ny)
+{
+    Mat m;
+    m.rows_ = m.cols_ = nx * ny;
+    m.bandwidth_ = 2 * nx;
+    if (rt.mode() == Mode::Simulated) {
+        // Closed-form structure; no assembly needed for cost runs.
+        m.nnz_ = 5 * nx * ny - 2 * nx - 2 * ny;
+        return m;
+    }
+    m.rowptr_.push_back(0);
+    for (coord_t i = 0; i < ny; i++) {
+        for (coord_t j = 0; j < nx; j++) {
+            coord_t row = i * nx + j;
+            if (i > 0) {
+                m.colind_.push_back(std::int32_t(row - nx));
+                m.vals_.push_back(-1.0);
+            }
+            if (j > 0) {
+                m.colind_.push_back(std::int32_t(row - 1));
+                m.vals_.push_back(-1.0);
+            }
+            m.colind_.push_back(std::int32_t(row));
+            m.vals_.push_back(4.0);
+            if (j + 1 < nx) {
+                m.colind_.push_back(std::int32_t(row + 1));
+                m.vals_.push_back(-1.0);
+            }
+            if (i + 1 < ny) {
+                m.colind_.push_back(std::int32_t(row + nx));
+                m.vals_.push_back(-1.0);
+            }
+            m.rowptr_.push_back(coord_t(m.colind_.size()));
+        }
+    }
+    m.nnz_ = coord_t(m.colind_.size());
+    return m;
+}
+
+Mat
+Mat::tridiagonal(PetscRuntime &rt, coord_t n, double diag, double off)
+{
+    Mat m;
+    m.rows_ = m.cols_ = n;
+    m.bandwidth_ = 2;
+    if (rt.mode() == Mode::Simulated) {
+        m.nnz_ = 3 * n - 2;
+        return m;
+    }
+    m.rowptr_.push_back(0);
+    for (coord_t i = 0; i < n; i++) {
+        if (i > 0) {
+            m.colind_.push_back(std::int32_t(i - 1));
+            m.vals_.push_back(off);
+        }
+        m.colind_.push_back(std::int32_t(i));
+        m.vals_.push_back(diag);
+        if (i + 1 < n) {
+            m.colind_.push_back(std::int32_t(i + 1));
+            m.vals_.push_back(off);
+        }
+        m.rowptr_.push_back(coord_t(m.colind_.size()));
+    }
+    m.nnz_ = coord_t(m.colind_.size());
+    return m;
+}
+
+coord_t
+Mat::nnzLocal(const PetscRuntime &rt) const
+{
+    int p = rt.machine().totalGpus();
+    return (nnz_ + p - 1) / p;
+}
+
+double
+Mat::haloBytes(const PetscRuntime &rt) const
+{
+    if (rt.machine().totalGpus() <= 1)
+        return 0.0;
+    // Off-diagonal-block x entries gathered per rank: the column span
+    // beyond the owned range, bounded by the matrix bandwidth.
+    return double(bandwidth_) * 8.0;
+}
+
+// ---------------------------------------------------------------------
+// Vector kernels
+// ---------------------------------------------------------------------
+
+void
+VecSet(PetscRuntime &rt, Vec &v, double value)
+{
+    if (rt.mode() == Mode::Real)
+        std::fill(v.data().begin(), v.data().end(), value);
+    rt.chargeKernel(double(v.localSize(rt)) * 8.0, 0.0);
+}
+
+void
+VecCopy(PetscRuntime &rt, const Vec &x, Vec &y)
+{
+    if (rt.mode() == Mode::Real)
+        y.data() = x.data();
+    rt.chargeKernel(double(x.localSize(rt)) * 16.0, 0.0);
+}
+
+void
+VecAXPY(PetscRuntime &rt, Vec &y, double a, const Vec &x)
+{
+    if (rt.mode() == Mode::Real) {
+        for (std::size_t i = 0; i < y.data().size(); i++)
+            y.data()[i] += a * x.data()[i];
+    }
+    coord_t nl = y.localSize(rt);
+    rt.chargeKernel(double(nl) * 24.0, double(nl) * 2.0);
+}
+
+void
+VecAYPX(PetscRuntime &rt, Vec &y, double b, const Vec &x)
+{
+    if (rt.mode() == Mode::Real) {
+        for (std::size_t i = 0; i < y.data().size(); i++)
+            y.data()[i] = x.data()[i] + b * y.data()[i];
+    }
+    coord_t nl = y.localSize(rt);
+    rt.chargeKernel(double(nl) * 24.0, double(nl) * 2.0);
+}
+
+void
+VecAXPBYPCZ(PetscRuntime &rt, Vec &z, double a, double b, double c,
+            const Vec &x, const Vec &y)
+{
+    if (rt.mode() == Mode::Real) {
+        for (std::size_t i = 0; i < z.data().size(); i++) {
+            z.data()[i] =
+                a * x.data()[i] + b * y.data()[i] + c * z.data()[i];
+        }
+    }
+    coord_t nl = z.localSize(rt);
+    rt.chargeKernel(double(nl) * 32.0, double(nl) * 5.0);
+}
+
+void
+VecWAXPY(PetscRuntime &rt, Vec &w, double a, const Vec &x, const Vec &y)
+{
+    if (rt.mode() == Mode::Real) {
+        for (std::size_t i = 0; i < w.data().size(); i++)
+            w.data()[i] = x.data()[i] + a * y.data()[i];
+    }
+    coord_t nl = w.localSize(rt);
+    rt.chargeKernel(double(nl) * 24.0, double(nl) * 2.0);
+}
+
+double
+VecDot(PetscRuntime &rt, const Vec &x, const Vec &y)
+{
+    double result = 0.0;
+    if (rt.mode() == Mode::Real) {
+        for (std::size_t i = 0; i < x.data().size(); i++)
+            result += x.data()[i] * y.data()[i];
+    }
+    coord_t nl = x.localSize(rt);
+    rt.chargeKernel(double(nl) * 16.0, double(nl) * 2.0);
+    rt.chargeAllreduce(8.0);
+    return result;
+}
+
+double
+VecNormSq(PetscRuntime &rt, const Vec &x)
+{
+    double result = 0.0;
+    if (rt.mode() == Mode::Real) {
+        for (double v : x.data())
+            result += v * v;
+    }
+    coord_t nl = x.localSize(rt);
+    rt.chargeKernel(double(nl) * 8.0, double(nl) * 2.0);
+    rt.chargeAllreduce(8.0);
+    return result;
+}
+
+void
+MatMult(PetscRuntime &rt, const Mat &a, const Vec &x, Vec &y)
+{
+    if (rt.mode() == Mode::Real) {
+        const auto &rowptr = a.rowptr();
+        const auto &colind = a.colind();
+        const auto &vals = a.vals();
+        for (coord_t i = 0; i < a.rows(); i++) {
+            double sum = 0.0;
+            for (coord_t k = rowptr[std::size_t(i)];
+                 k < rowptr[std::size_t(i + 1)]; k++) {
+                sum += vals[std::size_t(k)] *
+                       x.data()[std::size_t(colind[std::size_t(k)])];
+            }
+            y.data()[std::size_t(i)] = sum;
+        }
+    }
+    rt.chargeHalo(a.haloBytes(rt), 2);
+    coord_t nnzl = a.nnzLocal(rt);
+    coord_t nl = y.localSize(rt);
+    // vals (8B) + 32-bit colind (4B) + gathered x (8B) per nonzero,
+    // plus row pointers and the y write.
+    double bytes = double(nnzl) * (8.0 + 4.0 + 8.0) +
+                   double(nl + 1) * 8.0 + double(nl) * 8.0;
+    rt.chargeKernel(bytes, 2.0 * double(nnzl));
+}
+
+// ---------------------------------------------------------------------
+// KSP solvers
+// ---------------------------------------------------------------------
+
+double
+KspCg(PetscRuntime &rt, const Mat &a, const Vec &b, Vec &x, int iters)
+{
+    Vec r(rt, b.size()), p(rt, b.size()), ap(rt, b.size());
+    VecSet(rt, x, 0.0);
+    VecCopy(rt, b, r);
+    VecCopy(rt, r, p);
+    double rsold = VecNormSq(rt, r);
+    double rsnew = rsold;
+
+    for (int it = 0; it < iters; it++) {
+        MatMult(rt, a, p, ap);
+        double pap = VecDot(rt, p, ap);
+        double alpha = rt.mode() == Mode::Real ? rsold / pap : 1.0;
+        VecAXPY(rt, x, alpha, p);
+        VecAXPY(rt, r, -alpha, ap);
+        rsnew = VecNormSq(rt, r);
+        double beta = rt.mode() == Mode::Real ? rsnew / rsold : 1.0;
+        VecAYPX(rt, p, beta, r); // p = r + beta p
+        rsold = rsnew;
+    }
+    return rsnew;
+}
+
+double
+KspBiCgStab(PetscRuntime &rt, const Mat &a, const Vec &b, Vec &x,
+            int iters)
+{
+    Vec r(rt, b.size()), rhat(rt, b.size()), p(rt, b.size());
+    Vec v(rt, b.size()), s(rt, b.size()), t(rt, b.size());
+    VecSet(rt, x, 0.0);
+    VecCopy(rt, b, r);
+    VecCopy(rt, r, rhat);
+    VecCopy(rt, r, p);
+    double rho = VecNormSq(rt, r);
+    double rs = rho;
+    bool real = rt.mode() == Mode::Real;
+
+    for (int it = 0; it < iters; it++) {
+        MatMult(rt, a, p, v);
+        double rhv = VecDot(rt, rhat, v);
+        double alpha = real ? rho / rhv : 1.0;
+        VecWAXPY(rt, s, -alpha, r, v); // s = r - alpha v
+        MatMult(rt, a, s, t);
+        double tt = VecNormSq(rt, t);
+        double ts = VecDot(rt, t, s);
+        double omega = real ? ts / tt : 1.0;
+        // x = x + alpha p + omega s: PETSc's fused VecAXPBYPCZ.
+        VecAXPBYPCZ(rt, x, alpha, omega, 1.0, p, s);
+        VecWAXPY(rt, r, -omega, s, t); // r = s - omega t
+        double rho_new = VecDot(rt, rhat, r);
+        rs = VecNormSq(rt, r);
+        double beta = real ? (rho_new / rho) * (alpha / omega) : 1.0;
+        // p = r + beta (p - omega v): fused as two kernels in PETSc.
+        VecAXPY(rt, p, -omega, v);
+        VecAYPX(rt, p, beta, r);
+        rho = rho_new;
+    }
+    return rs;
+}
+
+} // namespace pmini

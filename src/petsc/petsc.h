@@ -1,0 +1,187 @@
+/**
+ * @file
+ * petsc-mini: an explicitly parallel MPI+GPU-style baseline standing in
+ * for PETSc (paper §7.1). It shares the simulated machine's cost
+ * parameters with legion-mini but has *no tasking layer*: operations
+ * execute eagerly with only kernel-launch and host/MPI overheads, use
+ * hand-fused kernels (VecAXPBYPCZ and friends), and store column
+ * indices as 32-bit integers — the strengths the paper credits PETSc
+ * with. Its weakness is also faithful: every vector operation makes
+ * its own pass over memory unless a hand-fused variant exists.
+ */
+
+#ifndef DIFFUSE_PETSC_PETSC_H
+#define DIFFUSE_PETSC_PETSC_H
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "runtime/machine.h"
+
+namespace pmini {
+
+using diffuse::coord_t;
+using diffuse::rt::MachineConfig;
+
+/** Execute data for real (tests) or account costs only (scaling). */
+enum class Mode { Real, Simulated };
+
+/** Accumulated simulated time and traffic. */
+struct PetscStats
+{
+    double simTime = 0.0;
+    double computeTime = 0.0;
+    double commTime = 0.0;
+    std::uint64_t kernels = 0;
+    std::uint64_t collectives = 0;
+
+    void reset() { *this = PetscStats(); }
+};
+
+/** The baseline's execution context. */
+class PetscRuntime
+{
+  public:
+    PetscRuntime(const MachineConfig &machine, Mode mode)
+        : machine_(machine), mode_(mode)
+    {}
+
+    const MachineConfig &machine() const { return machine_; }
+    Mode mode() const { return mode_; }
+    PetscStats &stats() { return stats_; }
+
+    /** One streaming GPU kernel over per-rank data. */
+    void
+    chargeKernel(double bytes_per_rank, double flops_per_rank)
+    {
+        double t = hostOverhead_ + machine_.launchOverhead +
+                   std::max(bytes_per_rank / machine_.hbmBandwidth,
+                            flops_per_rank / machine_.flopRate);
+        stats_.simTime += t;
+        stats_.computeTime += t;
+        stats_.kernels++;
+    }
+
+    /** MPI_Allreduce of `bytes` over all ranks. */
+    void
+    chargeAllreduce(double bytes)
+    {
+        int p = machine_.totalGpus();
+        if (p <= 1)
+            return;
+        double hops = std::ceil(std::log2(double(p)));
+        double lat = machine_.nodes > 1 ? machine_.ibLatency
+                                        : machine_.nvlinkLatency;
+        double bw = machine_.nodes > 1 ? machine_.ibBandwidth
+                                       : machine_.nvlinkBandwidth;
+        double t = hops * (lat + bytes / bw);
+        stats_.simTime += t;
+        stats_.commTime += t;
+        stats_.collectives++;
+    }
+
+    /** Neighbor halo exchange (VecScatter in MatMult). */
+    void
+    chargeHalo(double bytes_per_rank, int messages)
+    {
+        if (machine_.totalGpus() <= 1)
+            return;
+        double lat = machine_.nodes > 1 ? machine_.ibLatency
+                                        : machine_.nvlinkLatency;
+        double bw = machine_.nodes > 1 ? machine_.ibBandwidth
+                                       : machine_.nvlinkBandwidth;
+        double t = messages * lat + bytes_per_rank / bw;
+        stats_.simTime += t;
+        stats_.commTime += t;
+    }
+
+  private:
+    MachineConfig machine_;
+    Mode mode_;
+    PetscStats stats_;
+    /** Per-call host/MPI progress overhead, seconds. */
+    double hostOverhead_ = 3.0e-6;
+};
+
+/** A distributed vector (globally viewed host data in Real mode). */
+class Vec
+{
+  public:
+    Vec() = default;
+    Vec(PetscRuntime &rt, coord_t n, double init = 0.0);
+
+    coord_t size() const { return n_; }
+    coord_t localSize(const PetscRuntime &rt) const;
+    std::vector<double> &data() { return data_; }
+    const std::vector<double> &data() const { return data_; }
+
+  private:
+    coord_t n_ = 0;
+    std::vector<double> data_;
+};
+
+/** A distributed CSR matrix with 32-bit column indices. */
+class Mat
+{
+  public:
+    /** 5-point 2-D Poisson operator (nx*ny rows). */
+    static Mat poisson2d(PetscRuntime &rt, coord_t nx, coord_t ny);
+    /** Tridiagonal operator. */
+    static Mat tridiagonal(PetscRuntime &rt, coord_t n, double diag,
+                           double off);
+
+    coord_t rows() const { return rows_; }
+    coord_t nnz() const { return nnz_; }
+
+    /** Max nonzeros owned by one rank. */
+    coord_t nnzLocal(const PetscRuntime &rt) const;
+    /** Bytes of off-rank x entries one rank gathers per MatMult. */
+    double haloBytes(const PetscRuntime &rt) const;
+
+    const std::vector<std::int64_t> &rowptr() const { return rowptr_; }
+    const std::vector<std::int32_t> &colind() const { return colind_; }
+    const std::vector<double> &vals() const { return vals_; }
+
+  private:
+    coord_t rows_ = 0, cols_ = 0, nnz_ = 0;
+    /** Widest column span of any single row (halo estimator). */
+    coord_t bandwidth_ = 0;
+    std::vector<std::int64_t> rowptr_;
+    std::vector<std::int32_t> colind_;
+    std::vector<double> vals_;
+};
+
+// ---- Vector operations (hand-fused where PETSc provides them) -------
+
+void VecSet(PetscRuntime &rt, Vec &v, double value);
+void VecCopy(PetscRuntime &rt, const Vec &x, Vec &y);
+/** y = y + a*x. */
+void VecAXPY(PetscRuntime &rt, Vec &y, double a, const Vec &x);
+/** y = x + b*y. */
+void VecAYPX(PetscRuntime &rt, Vec &y, double b, const Vec &x);
+/** z = a*x + b*y + c*z — PETSc's fused triple-update (the paper cites
+ * VecAXPBYPCZ as the esoteric hand-fused kernel BiCGSTAB needs). */
+void VecAXPBYPCZ(PetscRuntime &rt, Vec &z, double a, double b, double c,
+                 const Vec &x, const Vec &y);
+/** w = x + a*y (VecWAXPY). */
+void VecWAXPY(PetscRuntime &rt, Vec &w, double a, const Vec &x,
+              const Vec &y);
+double VecDot(PetscRuntime &rt, const Vec &x, const Vec &y);
+double VecNormSq(PetscRuntime &rt, const Vec &x);
+/** y = A x. */
+void MatMult(PetscRuntime &rt, const Mat &a, const Vec &x, Vec &y);
+
+// ---- KSP solvers ------------------------------------------------------
+
+/** PETSc-style CG, fixed iterations; returns final ||r||^2. */
+double KspCg(PetscRuntime &rt, const Mat &a, const Vec &b, Vec &x,
+             int iters);
+
+/** PETSc-style BiCGSTAB, fixed iterations; returns final ||r||^2. */
+double KspBiCgStab(PetscRuntime &rt, const Mat &a, const Vec &b, Vec &x,
+                   int iters);
+
+} // namespace pmini
+
+#endif // DIFFUSE_PETSC_PETSC_H

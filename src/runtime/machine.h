@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Simulated machine description and cost model.
+ *
+ * Stands in for the paper's hardware testbed: an NVIDIA DGX A100
+ * SuperPOD (8 A100-80GB per node, NVLink/NVSwitch inside a node, 8 IB
+ * NICs between nodes). The parameters below approximate published
+ * figures; every benchmark prints the configuration it used so results
+ * are interpretable. Only the *shape* of results is expected to match
+ * the paper (who wins, by what factor, where crossovers fall).
+ */
+
+#ifndef DIFFUSE_RUNTIME_MACHINE_H
+#define DIFFUSE_RUNTIME_MACHINE_H
+
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+
+namespace diffuse {
+namespace rt {
+
+/** Hardware and runtime-overhead parameters of the simulated machine. */
+struct MachineConfig
+{
+    int nodes = 1;
+    int gpusPerNode = 8;
+
+    /** HBM bandwidth per GPU, bytes/s (A100-80GB ~ 1.9e12 effective). */
+    double hbmBandwidth = 1.55e12;
+    /** Weighted flop throughput per GPU, flop/s (fp64 ~ 9.7e12 + SFU). */
+    double flopRate = 9.7e12;
+
+    /** NVLink per-peer bandwidth within a node, bytes/s. */
+    double nvlinkBandwidth = 2.0e11;
+    /** NVLink small-transfer latency, seconds. */
+    double nvlinkLatency = 4.0e-6;
+    /** InfiniBand per-NIC bandwidth between nodes, bytes/s. */
+    double ibBandwidth = 2.0e10;
+    /** InfiniBand message latency, seconds. */
+    double ibLatency = 1.2e-5;
+
+    /** CUDA kernel-launch overhead per point task, seconds. */
+    double launchOverhead = 8.0e-6;
+    /**
+     * Runtime dependence-analysis overhead per index task:
+     * a0 + a1 * log2(nodes). Models Legion's dynamic analysis whose
+     * cost grows as task metadata is exchanged across more nodes.
+     */
+    double runtimeBaseOverhead = 1.1e-4;
+    double runtimeScaleOverhead = 9.0e-5;
+
+    int totalGpus() const { return nodes * gpusPerNode; }
+
+    int nodeOf(int proc) const { return proc / gpusPerNode; }
+
+    /** log2 of node count, >= 0. */
+    double
+    logNodes() const
+    {
+        return nodes > 1 ? std::log2(double(nodes)) : 0.0;
+    }
+
+    /** Per-index-task runtime overhead, seconds. */
+    double
+    runtimeOverhead() const
+    {
+        return runtimeBaseOverhead + runtimeScaleOverhead * logNodes();
+    }
+
+    /**
+     * Machine with `gpus` total GPUs, filling nodes of `per_node`.
+     * Mirrors the paper's 1..8 GPUs on one node, then whole nodes.
+     */
+    static MachineConfig
+    withGpus(int gpus, int per_node = 8)
+    {
+        diffuse_assert(gpus >= 1, "need at least one GPU");
+        MachineConfig m;
+        if (gpus <= per_node) {
+            m.nodes = 1;
+            m.gpusPerNode = gpus;
+        } else {
+            diffuse_assert(gpus % per_node == 0,
+                           "gpus=%d not a multiple of %d", gpus,
+                           per_node);
+            m.nodes = gpus / per_node;
+            m.gpusPerNode = per_node;
+        }
+        return m;
+    }
+
+    std::string
+    toString() const
+    {
+        return strprintf(
+            "machine{nodes=%d gpus/node=%d hbm=%.2e B/s flops=%.2e "
+            "nvlink=%.2e ib=%.2e}",
+            nodes, gpusPerNode, hbmBandwidth, flopRate,
+            nvlinkBandwidth, ibBandwidth);
+    }
+};
+
+} // namespace rt
+} // namespace diffuse
+
+#endif // DIFFUSE_RUNTIME_MACHINE_H

@@ -1,0 +1,378 @@
+#include "runtime.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace diffuse {
+namespace rt {
+
+namespace {
+
+/** Reserved layout key: valid everywhere. */
+constexpr std::uint64_t REPLICATED_LAYOUT = 1;
+
+/** Row-major strides of a store shape. */
+void
+storeStrides(const Rect &shape, coord_t strides[2])
+{
+    int d = shape.dim();
+    strides[0] = strides[1] = 0;
+    if (d == 1) {
+        strides[0] = 1;
+    } else if (d == 2) {
+        strides[1] = 1;
+        strides[0] = shape.hi[1] - shape.lo[1];
+    } else {
+        diffuse_panic("stores must be 1-D or 2-D, got %d-D", d);
+    }
+}
+
+coord_t
+linearOffset(const Rect &shape, const Point &p)
+{
+    coord_t strides[2];
+    storeStrides(shape, strides);
+    coord_t off = 0;
+    for (int i = 0; i < shape.dim(); i++)
+        off += (p[i] - shape.lo[i]) * strides[i];
+    return off;
+}
+
+} // namespace
+
+LowRuntime::LowRuntime(const MachineConfig &machine, ExecutionMode mode)
+    : machine_(machine), mode_(mode)
+{}
+
+StoreId
+LowRuntime::createStore(const Point &shape, DType dtype, double init)
+{
+    StoreId id = nextStore_++;
+    StoreRec store;
+    store.shape = Rect::fromShape(shape);
+    store.dtype = dtype;
+    store.init = init;
+    stores_.emplace(id, std::move(store));
+    return id;
+}
+
+void
+LowRuntime::ensureAllocated(StoreRec &store)
+{
+    if (!store.data.empty() || mode_ != ExecutionMode::Real)
+        return;
+    std::size_t n = std::size_t(store.shape.volume());
+    store.data.resize(n * dtypeSize(store.dtype));
+    stats_.storesMaterialized++;
+    stats_.bytesMaterialized += double(store.data.size());
+    switch (store.dtype) {
+      case DType::F64: {
+        double *p = reinterpret_cast<double *>(store.data.data());
+        std::fill(p, p + n, store.init);
+        break;
+      }
+      case DType::I32: {
+        auto *p = reinterpret_cast<std::int32_t *>(store.data.data());
+        std::fill(p, p + n, std::int32_t(store.init));
+        break;
+      }
+      case DType::I64: {
+        auto *p = reinterpret_cast<std::int64_t *>(store.data.data());
+        std::fill(p, p + n, std::int64_t(store.init));
+        break;
+      }
+    }
+}
+
+void
+LowRuntime::destroyStore(StoreId id)
+{
+    auto it = stores_.find(id);
+    diffuse_assert(it != stores_.end(), "destroy of unknown store %llu",
+                   (unsigned long long)id);
+    stores_.erase(it);
+}
+
+bool
+LowRuntime::storeExists(StoreId id) const
+{
+    return stores_.count(id) != 0;
+}
+
+LowRuntime::StoreRec &
+LowRuntime::rec(StoreId id)
+{
+    auto it = stores_.find(id);
+    diffuse_assert(it != stores_.end(), "unknown store %llu",
+                   (unsigned long long)id);
+    return it->second;
+}
+
+const LowRuntime::StoreRec &
+LowRuntime::rec(StoreId id) const
+{
+    auto it = stores_.find(id);
+    diffuse_assert(it != stores_.end(), "unknown store %llu",
+                   (unsigned long long)id);
+    return it->second;
+}
+
+Rect
+LowRuntime::storeShape(StoreId id) const
+{
+    return rec(id).shape;
+}
+
+DType
+LowRuntime::storeDtype(StoreId id) const
+{
+    return rec(id).dtype;
+}
+
+double *
+LowRuntime::dataF64(StoreId id)
+{
+    StoreRec &r = rec(id);
+    diffuse_assert(r.dtype == DType::F64, "store %llu is not f64",
+                   (unsigned long long)id);
+    ensureAllocated(r);
+    diffuse_assert(!r.data.empty(), "store %llu has no allocation "
+                   "(Simulated mode?)", (unsigned long long)id);
+    return reinterpret_cast<double *>(r.data.data());
+}
+
+std::int32_t *
+LowRuntime::dataI32(StoreId id)
+{
+    StoreRec &r = rec(id);
+    diffuse_assert(r.dtype == DType::I32, "store %llu is not i32",
+                   (unsigned long long)id);
+    ensureAllocated(r);
+    return reinterpret_cast<std::int32_t *>(r.data.data());
+}
+
+std::int64_t *
+LowRuntime::dataI64(StoreId id)
+{
+    StoreRec &r = rec(id);
+    diffuse_assert(r.dtype == DType::I64, "store %llu is not i64",
+                   (unsigned long long)id);
+    ensureAllocated(r);
+    return reinterpret_cast<std::int64_t *>(r.data.data());
+}
+
+void
+LowRuntime::markInitialized(StoreId id)
+{
+    StoreRec &r = rec(id);
+    r.replicatedValid = true;
+    r.lastWriteLayout = 0;
+    r.lastWritePieces.clear();
+}
+
+ImageId
+LowRuntime::registerImage(ImageData data)
+{
+    images_.push_back(std::move(data));
+    return ImageId(images_.size() - 1);
+}
+
+const ImageData &
+LowRuntime::image(ImageId id) const
+{
+    diffuse_assert(id < images_.size(), "unknown image %llu",
+                   (unsigned long long)id);
+    return images_[std::size_t(id)];
+}
+
+double
+LowRuntime::commSecondsFor(const LowArg &arg, const StoreRec &store,
+                           int p, int num_points)
+{
+    if (store.replicatedValid || store.lastWriteLayout == 0)
+        return 0.0; // valid everywhere (initial or post-collective)
+    if (arg.layoutKey == store.lastWriteLayout)
+        return 0.0; // same distributed view: data already local
+
+    const Rect &read_piece =
+        arg.replicated ? store.shape : arg.pieces[std::size_t(p)];
+    if (read_piece.empty() && !arg.replicated)
+        return 0.0;
+
+    double esize = double(dtypeSize(store.dtype));
+    int same_points =
+        int(store.lastWritePieces.size()) == num_points ? 1 : 0;
+    double intra_bytes = 0.0, inter_bytes = 0.0;
+    int intra_srcs = 0, inter_srcs = 0;
+    int my_node = machine_.nodeOf(p % machine_.totalGpus());
+    for (std::size_t q = 0; q < store.lastWritePieces.size(); q++) {
+        // A writer piece colocated with this point holds data locally.
+        if (same_points && int(q) == p)
+            continue;
+        Rect overlap = read_piece.intersect(store.lastWritePieces[q]);
+        coord_t vol = overlap.volume();
+        if (vol == 0)
+            continue;
+        int src_node = machine_.nodeOf(int(q) % machine_.totalGpus());
+        if (src_node == my_node) {
+            intra_bytes += double(vol) * esize;
+            intra_srcs++;
+        } else {
+            inter_bytes += double(vol) * esize;
+            inter_srcs++;
+        }
+    }
+    stats_.bytesIntraNode += intra_bytes;
+    stats_.bytesInterNode += inter_bytes;
+    return intra_srcs * machine_.nvlinkLatency +
+           intra_bytes / machine_.nvlinkBandwidth +
+           inter_srcs * machine_.ibLatency +
+           inter_bytes / machine_.ibBandwidth;
+}
+
+void
+LowRuntime::buildBindings(const LaunchedTask &task, int p,
+                          std::vector<kir::BufferBinding> &out,
+                          bool with_pointers)
+{
+    out.clear();
+    out.reserve(task.args.size());
+    for (const LowArg &arg : task.args) {
+        StoreRec &store = rec(arg.store);
+        kir::BufferBinding b;
+        b.dtype = store.dtype;
+        Rect piece =
+            arg.replicated ? store.shape : arg.pieces[std::size_t(p)];
+        b.dims = store.shape.dim();
+        Point ext = piece.extent();
+        b.extent[0] = b.dims >= 1 ? std::max<coord_t>(ext[0], 0) : 1;
+        b.extent[1] = b.dims == 2 ? std::max<coord_t>(ext[1], 0) : 1;
+        coord_t strides[2];
+        storeStrides(store.shape, strides);
+        b.stride[0] = strides[0];
+        b.stride[1] = strides[1];
+        if (!arg.irregular.empty())
+            b.irregular = arg.irregular[std::size_t(p)];
+        if (with_pointers) {
+            ensureAllocated(store);
+            std::byte *base = store.data.data();
+            coord_t off =
+                arg.absolute ? 0 : linearOffset(store.shape, piece.lo);
+            b.base = base + off * dtypeSize(store.dtype);
+        }
+        out.push_back(b);
+    }
+}
+
+void
+LowRuntime::execute(const LaunchedTask &task)
+{
+    diffuse_assert(task.kernel != nullptr, "task %s has no kernel",
+                   task.name.c_str());
+    const kir::KernelFunction &fn = task.kernel->fn;
+    diffuse_assert(int(task.args.size()) == fn.numArgs,
+                   "task %s: %zu args vs kernel %d", task.name.c_str(),
+                   task.args.size(), fn.numArgs);
+
+    stats_.indexTasks++;
+    stats_.pointTasks += std::uint64_t(task.numPoints);
+
+    double overhead = machine_.runtimeOverhead();
+
+    // Per-point cost: incoming communication, launch, compute. The
+    // index task completes when its slowest point task does.
+    double max_point_seconds = 0.0;
+    double comm_at_max = 0.0, compute_at_max = 0.0;
+    std::vector<kir::BufferBinding> bindings;
+    for (int p = 0; p < task.numPoints; p++) {
+        double comm = 0.0;
+        for (const LowArg &arg : task.args) {
+            if (privReads(arg.priv))
+                comm += commSecondsFor(arg, rec(arg.store), p,
+                                       task.numPoints);
+        }
+        buildBindings(task, p, bindings, false);
+        kir::TaskCost cost = kir::profileCost(fn, bindings);
+        stats_.bytesHbm += cost.bytes;
+        double compute = std::max(cost.bytes / machine_.hbmBandwidth,
+                                  cost.wflops / machine_.flopRate);
+        double t = comm + machine_.launchOverhead + compute;
+        if (t > max_point_seconds) {
+            max_point_seconds = t;
+            comm_at_max = comm;
+            compute_at_max = compute;
+        }
+    }
+    stats_.commTime += comm_at_max;
+    stats_.computeTime += compute_at_max;
+
+    // Reductions: a collective combines partials across points.
+    double collective = 0.0;
+    for (const LowArg &arg : task.args) {
+        if (!privReduces(arg.priv))
+            continue;
+        StoreRec &store = rec(arg.store);
+        double bytes =
+            double(store.shape.volume() * dtypeSize(store.dtype));
+        int p_total = task.numPoints;
+        if (p_total > 1) {
+            double hops = std::ceil(std::log2(double(p_total)));
+            double lat = machine_.nodes > 1 ? machine_.ibLatency
+                                            : machine_.nvlinkLatency;
+            double bw = machine_.nodes > 1 ? machine_.ibBandwidth
+                                           : machine_.nvlinkBandwidth;
+            collective += hops * (lat + bytes / bw);
+            stats_.collectives++;
+        }
+    }
+
+    // Real execution: run every point task against host memory.
+    if (mode_ == ExecutionMode::Real) {
+        for (int p = 0; p < task.numPoints; p++) {
+            buildBindings(task, p, bindings, true);
+            executor_.run(fn, bindings, task.scalars);
+        }
+    }
+
+    // Coherence updates for written and reduced stores.
+    for (const LowArg &arg : task.args) {
+        StoreRec &store = rec(arg.store);
+        if (privWrites(arg.priv)) {
+            store.lastWriteLayout = arg.layoutKey;
+            store.replicatedValid = false;
+            if (arg.replicated) {
+                store.lastWritePieces.assign(
+                    std::size_t(task.numPoints), store.shape);
+            } else {
+                store.lastWritePieces = arg.pieces;
+            }
+        } else if (privReduces(arg.priv)) {
+            // Reduction results are combined and broadcast by the
+            // collective: valid everywhere afterwards.
+            store.lastWriteLayout = REPLICATED_LAYOUT;
+            store.replicatedValid = true;
+            store.lastWritePieces.clear();
+        }
+    }
+
+    stats_.overheadTime +=
+        overhead + machine_.launchOverhead * task.numPoints;
+    stats_.collectiveTime += collective;
+    stats_.simTime += overhead + max_point_seconds + collective;
+}
+
+double
+LowRuntime::readScalarValue(StoreId id)
+{
+    StoreRec &r = rec(id);
+    if (mode_ != ExecutionMode::Real)
+        return 0.0;
+    diffuse_assert(r.dtype == DType::F64, "scalar read of non-f64");
+    ensureAllocated(r);
+    return *reinterpret_cast<const double *>(r.data.data());
+}
+
+} // namespace rt
+} // namespace diffuse

@@ -1,0 +1,49 @@
+#include "solvers.h"
+
+namespace diffuse {
+namespace solvers {
+
+num::NDArray
+SolverContext::bicgstab(const sp::CsrMatrix &a, const num::NDArray &b,
+                        int iters, double *rs_out)
+{
+    num::Context &np = arrays_;
+    // Naturally written BiCGSTAB (unpreconditioned), x0 = 0.
+    num::NDArray x = np.zeros(b.size());
+    num::NDArray r = np.mulScalar(1.0, b);
+    num::NDArray rhat = np.mulScalar(1.0, r);
+    num::NDArray p = np.mulScalar(1.0, r);
+    num::NDArray rho = np.dot(rhat, r);
+    num::NDArray rsnorm = np.dot(r, r);
+
+    for (int it = 0; it < iters; it++) {
+        num::NDArray v = sparse_.spmv(a, p);
+        num::NDArray rhv = np.dot(rhat, v);
+        num::NDArray alpha = np.scalarDiv(rho, rhv);
+        num::NDArray s = np.axmyS(r, alpha, v); // s = r - alpha v
+        num::NDArray t = sparse_.spmv(a, s);
+        num::NDArray tt = np.dot(t, t);
+        num::NDArray ts = np.dot(t, s);
+        num::NDArray omega = np.scalarDiv(ts, tt);
+        // x = x + alpha p + omega s.
+        num::NDArray x1 = np.axpyS(x, alpha, p);
+        x = np.axpyS(x1, omega, s);
+        r = np.axmyS(s, omega, t); // r = s - omega t
+        num::NDArray rho_new = np.dot(rhat, r);
+        rsnorm = np.dot(r, r);
+        // beta = (rho_new / rho) * (alpha / omega).
+        num::NDArray f1 = np.scalarDiv(rho_new, rho);
+        num::NDArray f2 = np.scalarDiv(alpha, omega);
+        num::NDArray beta = np.scalarMul(f1, f2);
+        // p = r + beta * (p - omega v).
+        num::NDArray pm = np.axmyS(p, omega, v);
+        p = np.aypxS(pm, beta, r);
+        rho = rho_new;
+    }
+    if (rs_out)
+        *rs_out = np.value(rsnorm);
+    return x;
+}
+
+} // namespace solvers
+} // namespace diffuse

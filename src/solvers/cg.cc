@@ -1,0 +1,163 @@
+#include "solvers.h"
+
+#include "common/logging.h"
+
+namespace diffuse {
+namespace solvers {
+
+SolverContext::SolverContext(num::Context &arrays,
+                             sp::SparseContext &sparse)
+    : arrays_(arrays), sparse_(sparse)
+{
+    using kir::BodyBuilder;
+    using kir::GenSignature;
+    using kir::KernelFunction;
+    using kir::LoopNest;
+    using kir::Op;
+
+    kir::Registry &reg = arrays_.runtime().registry();
+
+    // Manual CG update: x += alpha p; r -= alpha Ap; rsnew += r*r.
+    // Args (x RW, r RW, alpha R, p R, Ap R, rsnew Rd). One pass over
+    // four vectors — what a human writes after breaking the NumPy
+    // abstraction (paper §7.1).
+    cgUpdate_ = reg.registerTask(
+        "cg_update", [](const GenSignature &sig) {
+            diffuse_assert(sig.args.size() == 6, "cg_update args");
+            KernelFunction fn;
+            fn.numArgs = 6;
+            fn.numScalars = 0;
+            fn.buffers = sig.argBuffers();
+            LoopNest nest;
+            nest.domainBuf = 0;
+            BodyBuilder b(nest.body);
+            int alpha = b.load(2);
+            int xn = b.binary(Op::Add, b.load(0),
+                              b.binary(Op::Mul, alpha, b.load(3)));
+            b.store(0, xn);
+            int rn = b.binary(Op::Sub, b.load(1),
+                              b.binary(Op::Mul, alpha, b.load(4)));
+            b.store(1, rn);
+            kir::Reduction red;
+            red.accBuf = 5;
+            red.op = ReductionOp::Sum;
+            red.srcReg = b.binary(Op::Mul, rn, rn);
+            nest.reductions.push_back(red);
+            fn.nests.push_back(std::move(nest));
+            return fn;
+        });
+
+    // Manual p-update: p = r + beta p. Args (p RW, beta R, r R).
+    cgPUpdate_ = reg.registerTask(
+        "cg_p_update", [](const GenSignature &sig) {
+            diffuse_assert(sig.args.size() == 3, "cg_p_update args");
+            KernelFunction fn;
+            fn.numArgs = 3;
+            fn.numScalars = 0;
+            fn.buffers = sig.argBuffers();
+            LoopNest nest;
+            nest.domainBuf = 0;
+            BodyBuilder b(nest.body);
+            int pn = b.binary(Op::Add, b.load(2),
+                              b.binary(Op::Mul, b.load(1), b.load(0)));
+            b.store(0, pn);
+            fn.nests.push_back(std::move(nest));
+            return fn;
+        });
+}
+
+num::NDArray
+SolverContext::cg(const sp::CsrMatrix &a, const num::NDArray &b,
+                  int iters, double *rs_out)
+{
+    num::Context &np = arrays_;
+    // Natural NumPy-style CG: x0 = 0, r = b, p = r.
+    num::NDArray x = np.zeros(b.size());
+    num::NDArray r = np.mulScalar(1.0, b);
+    num::NDArray p = np.mulScalar(1.0, r);
+    num::NDArray rsold = np.dot(r, r);
+
+    for (int it = 0; it < iters; it++) {
+        num::NDArray ap = sparse_.spmv(a, p);
+        num::NDArray pap = np.dot(p, ap);
+        num::NDArray alpha = np.scalarDiv(rsold, pap);
+        x = np.axpyS(x, alpha, p);   // x = x + alpha p
+        r = np.axmyS(r, alpha, ap);  // r = r - alpha Ap
+        num::NDArray rsnew = np.dot(r, r);
+        num::NDArray beta = np.scalarDiv(rsnew, rsold);
+        p = np.aypxS(p, beta, r);    // p = beta p + r
+        rsold = rsnew;
+    }
+    if (rs_out)
+        *rs_out = np.value(rsold);
+    return x;
+}
+
+num::NDArray
+SolverContext::cgManual(const sp::CsrMatrix &a, const num::NDArray &b,
+                        int iters, double *rs_out)
+{
+    num::Context &np = arrays_;
+    DiffuseRuntime &rt = np.runtime();
+    int procs = np.procs();
+    Rect domain(Point(coord_t(0)), Point(coord_t(procs)));
+
+    num::NDArray x = np.zeros(b.size());
+    num::NDArray r = np.mulScalar(1.0, b);
+    num::NDArray p = np.mulScalar(1.0, r);
+    num::NDArray rsold = np.dot(r, r);
+
+    for (int it = 0; it < iters; it++) {
+        num::NDArray ap = sparse_.spmv(a, p);
+        num::NDArray pap = np.dot(p, ap);
+        num::NDArray alpha = np.scalarDiv(rsold, pap);
+
+        // Hand-fused x/r update with the new residual norm.
+        num::NDArray rsnew = np.zeros(1, 0.0);
+        {
+            IndexTask task;
+            task.type = cgUpdate_;
+            task.name = "cg_update";
+            task.launchDomain = domain;
+            task.args.emplace_back(x.store(), x.partition(procs),
+                                   Privilege::ReadWrite);
+            task.args.emplace_back(r.store(), r.partition(procs),
+                                   Privilege::ReadWrite);
+            task.args.emplace_back(alpha.store(),
+                                   PartitionDesc::none(),
+                                   Privilege::Read);
+            task.args.emplace_back(p.store(), p.partition(procs),
+                                   Privilege::Read);
+            task.args.emplace_back(ap.store(), ap.partition(procs),
+                                   Privilege::Read);
+            task.args.emplace_back(rsnew.store(),
+                                   PartitionDesc::none(),
+                                   Privilege::Reduce,
+                                   ReductionOp::Sum);
+            rt.submit(std::move(task));
+        }
+
+        num::NDArray beta = np.scalarDiv(rsnew, rsold);
+        {
+            IndexTask task;
+            task.type = cgPUpdate_;
+            task.name = "cg_p_update";
+            task.launchDomain = domain;
+            task.args.emplace_back(p.store(), p.partition(procs),
+                                   Privilege::ReadWrite);
+            task.args.emplace_back(beta.store(),
+                                   PartitionDesc::none(),
+                                   Privilege::Read);
+            task.args.emplace_back(r.store(), r.partition(procs),
+                                   Privilege::Read);
+            rt.submit(std::move(task));
+        }
+        rsold = rsnew;
+    }
+    if (rs_out)
+        *rs_out = np.value(rsold);
+    return x;
+}
+
+} // namespace solvers
+} // namespace diffuse

@@ -1,0 +1,99 @@
+#include "solvers.h"
+
+#include "common/logging.h"
+
+namespace diffuse {
+namespace solvers {
+
+GmgHierarchy
+SolverContext::buildHierarchy1d(coord_t n, int levels, double weight)
+{
+    diffuse_assert(levels >= 1, "need at least one level");
+    GmgHierarchy h;
+    coord_t size = n;
+    for (int l = 0; l < levels; l++) {
+        GmgLevel level;
+        level.a = sparse_.tridiagonal(size, 2.0, -1.0);
+        // dinvW = weight / diag(A).
+        level.dinvW = arrays_.recip(weight, level.a.diagonal());
+        if (l + 1 < levels) {
+            level.restrict_ = sparse_.injection1d(size);
+            level.prolong = sparse_.prolongation1d(size);
+        }
+        h.levels.push_back(level);
+        size /= 2;
+    }
+    arrays_.runtime().flushWindow();
+    return h;
+}
+
+num::NDArray
+SolverContext::vcycle(const GmgHierarchy &h, std::size_t level,
+                      const num::NDArray &b)
+{
+    num::Context &np = arrays_;
+    const GmgLevel &lv = h.levels[level];
+
+    // Weighted-Jacobi smoothing from x0 = 0: the first sweep is just
+    // x = dinvW * b, written naturally.
+    num::NDArray x = np.mul(lv.dinvW, b);
+    for (int s = 1; s < h.smoothSteps; s++) {
+        num::NDArray ax = sparse_.spmv(lv.a, x);
+        num::NDArray res = np.sub(b, ax);
+        num::NDArray corr = np.mul(lv.dinvW, res);
+        x = np.add(x, corr);
+    }
+
+    if (level + 1 < h.levels.size()) {
+        // Coarse-grid correction via injection restriction.
+        num::NDArray ax = sparse_.spmv(lv.a, x);
+        num::NDArray res = np.sub(b, ax);
+        num::NDArray rc = sparse_.spmv(lv.restrict_, res);
+        num::NDArray ec = vcycle(h, level + 1, rc);
+        num::NDArray ef = sparse_.spmv(lv.prolong, ec);
+        x = np.add(x, ef);
+
+        // Post-smoothing.
+        for (int s = 0; s < h.smoothSteps; s++) {
+            num::NDArray ax2 = sparse_.spmv(lv.a, x);
+            num::NDArray res2 = np.sub(b, ax2);
+            num::NDArray corr = np.mul(lv.dinvW, res2);
+            x = np.add(x, corr);
+        }
+    }
+    return x;
+}
+
+num::NDArray
+SolverContext::gmgPcg(const GmgHierarchy &h, const num::NDArray &b,
+                      int iters, double *rs_out)
+{
+    num::Context &np = arrays_;
+    // Preconditioned CG with M^-1 = one V-cycle.
+    num::NDArray x = np.zeros(b.size());
+    num::NDArray r = np.mulScalar(1.0, b);
+    num::NDArray z = vcycle(h, 0, r);
+    num::NDArray p = np.mulScalar(1.0, z);
+    num::NDArray rz = np.dot(r, z);
+    num::NDArray rs = np.dot(r, r);
+
+    for (int it = 0; it < iters; it++) {
+        num::NDArray ap = sparse_.spmv(h.levels[0].a, p);
+        num::NDArray pap = np.dot(p, ap);
+        num::NDArray alpha = np.scalarDiv(rz, pap);
+        x = np.axpyS(x, alpha, p);
+        r = np.axmyS(r, alpha, ap);
+        z = vcycle(h, 0, r);
+        num::NDArray rz_new = np.dot(r, z);
+        rs = np.dot(r, r);
+        num::NDArray beta = np.scalarDiv(rz_new, rz);
+        p = np.aypxS(p, beta, z);
+        rz = rz_new;
+    }
+    if (rs_out)
+        *rs_out = np.value(rs);
+    return x;
+}
+
+} // namespace solvers
+} // namespace diffuse

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Krylov solvers written against cunumeric-mini + sparse-mini, exactly
+ * as the paper's benchmarks are written against cuPyNumeric + Legate
+ * Sparse (§7.1): natural NumPy-style code for CG and BiCGSTAB, a
+ * manually fused CG (the hand-optimized baseline the paper compares
+ * against), and a geometric multigrid (V-cycle) preconditioned CG.
+ */
+
+#ifndef DIFFUSE_SOLVERS_SOLVERS_H
+#define DIFFUSE_SOLVERS_SOLVERS_H
+
+#include <vector>
+
+#include "cunumeric/ndarray.h"
+#include "sparse/csr.h"
+
+namespace diffuse {
+namespace solvers {
+
+/** One level of the multigrid hierarchy. */
+struct GmgLevel
+{
+    sp::CsrMatrix a;
+    sp::CsrMatrix restrict_;
+    sp::CsrMatrix prolong;
+    num::NDArray dinvW; ///< w / diag(A), the weighted-Jacobi factor
+};
+
+/** Multigrid hierarchy over a 1-D Poisson chain. */
+struct GmgHierarchy
+{
+    std::vector<GmgLevel> levels;
+    int smoothSteps = 2;
+};
+
+/** Krylov solvers sharing a pair of library contexts. */
+class SolverContext
+{
+  public:
+    SolverContext(num::Context &arrays, sp::SparseContext &sparse);
+
+    num::Context &arrays() { return arrays_; }
+    sp::SparseContext &sparse() { return sparse_; }
+
+    /**
+     * Naturally written conjugate gradient, fixed iteration count.
+     * @param rs_out Receives the final residual norm squared.
+     */
+    num::NDArray cg(const sp::CsrMatrix &a, const num::NDArray &b,
+                    int iters, double *rs_out = nullptr);
+
+    /**
+     * Manually fused CG: custom hand-written fused update kernels,
+     * the paper's "Manually Fused" baseline (its CG "no longer
+     * resembled the high-level description", §7.1). Intended to run
+     * with fusion disabled.
+     */
+    num::NDArray cgManual(const sp::CsrMatrix &a, const num::NDArray &b,
+                          int iters, double *rs_out = nullptr);
+
+    /** Naturally written BiCGSTAB, fixed iteration count. */
+    num::NDArray bicgstab(const sp::CsrMatrix &a, const num::NDArray &b,
+                          int iters, double *rs_out = nullptr);
+
+    /** Build a multigrid hierarchy for the 1-D Poisson operator. */
+    GmgHierarchy buildHierarchy1d(coord_t n, int levels,
+                                  double weight = 2.0 / 3.0);
+
+    /** One V-cycle applied to rhs `b` at `level`. */
+    num::NDArray vcycle(const GmgHierarchy &h, std::size_t level,
+                        const num::NDArray &b);
+
+    /** CG preconditioned by one V-cycle per iteration (the paper's
+     * GMG application). */
+    num::NDArray gmgPcg(const GmgHierarchy &h, const num::NDArray &b,
+                        int iters, double *rs_out = nullptr);
+
+  private:
+    num::Context &arrays_;
+    sp::SparseContext &sparse_;
+    TaskTypeId cgUpdate_ = 0;   ///< manual fused x/r update + dot
+    TaskTypeId cgPUpdate_ = 0;  ///< manual fused p = r + beta p
+};
+
+} // namespace solvers
+} // namespace diffuse
+
+#endif // DIFFUSE_SOLVERS_SOLVERS_H

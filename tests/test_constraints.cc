@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Fusion-constraint tests, including the soundness property at the
+ * heart of the paper's Theorem 1: whenever the scale-free constraint
+ * checker admits a pair of index tasks, a brute-force oracle that
+ * materializes the dependence map D(T1, T2) from Definitions 1-2 must
+ * find every dependence point-wise (Definition 3). The oracle is
+ * exactly the computation Diffuse avoids — it scales with the number
+ * of processors — so small domains suffice.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/constraints.h"
+#include "core/fusion.h"
+#include "core/partition.h"
+
+namespace diffuse {
+namespace {
+
+constexpr coord_t STORE_LEN = 24;
+
+/** Sub-store of an argument at a launch point (oracle side). */
+Rect
+pieceOf(const StoreArg &arg, const Point &p)
+{
+    Rect shape = Rect::fromShape(Point(STORE_LEN));
+    if (arg.part.kind == PartitionDesc::Kind::None)
+        return shape;
+    return arg.part.boundsFor(p, shape);
+}
+
+/** Definition 1: does point task T2^q depend on point task T1^p? */
+bool
+pointDep(const IndexTask &t1, const Point &p, const IndexTask &t2,
+         const Point &q)
+{
+    for (const StoreArg &a1 : t1.args) {
+        for (const StoreArg &a2 : t2.args) {
+            if (a1.store != a2.store)
+                continue;
+            Rect s1 = pieceOf(a1, p);
+            Rect s2 = pieceOf(a2, q);
+            if (s1.intersect(s2).volume() == 0)
+                continue;
+            bool w1 = privWrites(a1.priv), r1 = privReads(a1.priv);
+            bool rd1 = privReduces(a1.priv);
+            bool w2 = privWrites(a2.priv), r2 = privReads(a2.priv);
+            bool rd2 = privReduces(a2.priv);
+            if (w1 && (r2 || w2 || rd2))
+                return true; // true dependence
+            if (r1 && (w2 || rd2))
+                return true; // anti dependence
+            if (rd1 && (r2 || w2))
+                return true; // reduction dependence
+        }
+    }
+    return false;
+}
+
+/** Definition 3: all dependencies at most point-wise. */
+bool
+oracleFusible(const IndexTask &t1, const IndexTask &t2)
+{
+    if (t1.launchDomain != t2.launchDomain)
+        return false;
+    for (PointIterator p(t1.launchDomain); p.valid(); p.step()) {
+        for (PointIterator q(t2.launchDomain); q.valid(); q.step()) {
+            if (*p == *q)
+                continue;
+            if (pointDep(t1, *p, t2, *q))
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Random partition over the shared test store. */
+PartitionDesc
+randomPartition(Rng &rng)
+{
+    switch (rng.below(4)) {
+      case 0:
+        return PartitionDesc::none();
+      default: {
+        coord_t offset = coord_t(rng.below(3));
+        coord_t extent = STORE_LEN - offset - coord_t(rng.below(3));
+        coord_t procs = 4;
+        coord_t tile = (extent + procs - 1) / procs;
+        return PartitionDesc::tiling(Point(tile), Point(offset),
+                                     Point(extent));
+      }
+    }
+}
+
+Privilege
+randomPrivilege(Rng &rng)
+{
+    switch (rng.below(5)) {
+      case 0:
+        return Privilege::Write;
+      case 1:
+        return Privilege::ReadWrite;
+      case 2:
+        return Privilege::Reduce;
+      default:
+        return Privilege::Read;
+    }
+}
+
+IndexTask
+randomTask(Rng &rng, int num_stores, const Rect &domain)
+{
+    IndexTask t;
+    t.launchDomain = domain;
+    t.name = "rand";
+    int nargs = 1 + int(rng.below(3));
+    for (int a = 0; a < nargs; a++) {
+        StoreArg arg;
+        arg.store = StoreId(rng.below(std::uint64_t(num_stores)));
+        arg.part = randomPartition(rng);
+        arg.priv = randomPrivilege(rng);
+        t.args.push_back(arg);
+    }
+    return t;
+}
+
+class ConstraintSoundness : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ConstraintSoundness, AdmittedPairsArePointwiseByOracle)
+{
+    Rng rng(std::uint64_t(GetParam()) * 7919 + 13);
+    Rect domain(Point(coord_t(0)), Point(coord_t(4)));
+    int admitted = 0;
+    for (int trial = 0; trial < 400; trial++) {
+        IndexTask t1 = randomTask(rng, 3, domain);
+        IndexTask t2 = randomTask(rng, 3, domain);
+        ConstraintChecker checker;
+        if (checker.admits(t1, false) != FusionBlock::None)
+            continue;
+        checker.add(t1);
+        if (checker.admits(t2, false) != FusionBlock::None)
+            continue;
+        admitted++;
+        EXPECT_TRUE(oracleFusible(t1, t2))
+            << "checker admitted a non-point-wise pair (seed "
+            << GetParam() << ", trial " << trial << ")";
+    }
+    // The checker is not vacuous: it admits a healthy fraction.
+    EXPECT_GT(admitted, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstraintSoundness,
+                         ::testing::Range(0, 8));
+
+TEST(Constraints, LaunchDomainEquivalence)
+{
+    Rect d1(Point(coord_t(0)), Point(coord_t(4)));
+    Rect d2(Point(coord_t(0)), Point(coord_t(8)));
+    IndexTask t1, t2;
+    t1.launchDomain = d1;
+    t2.launchDomain = d2;
+    ConstraintChecker c;
+    c.add(t1);
+    EXPECT_EQ(c.admits(t2, false), FusionBlock::LaunchDomain);
+}
+
+TEST(Constraints, TrueDependenceAcrossViews)
+{
+    Rect d(Point(coord_t(0)), Point(coord_t(4)));
+    PartitionDesc p0 = PartitionDesc::tiling(
+        Point(coord_t(6)), Point(coord_t(0)), Point(coord_t(24)));
+    PartitionDesc p1 = PartitionDesc::tiling(
+        Point(coord_t(6)), Point(coord_t(1)), Point(coord_t(22)));
+
+    IndexTask w;
+    w.launchDomain = d;
+    w.args.emplace_back(1, p0, Privilege::Write);
+    IndexTask r;
+    r.launchDomain = d;
+    r.args.emplace_back(1, p1, Privilege::Read);
+
+    ConstraintChecker c;
+    c.add(w);
+    EXPECT_EQ(c.admits(r, false), FusionBlock::TrueDependence);
+
+    // Same view: allowed (point-wise producer/consumer).
+    IndexTask r_same;
+    r_same.launchDomain = d;
+    r_same.args.emplace_back(1, p0, Privilege::Read);
+    EXPECT_EQ(c.admits(r_same, false), FusionBlock::None);
+}
+
+TEST(Constraints, AntiDependenceAcrossViews)
+{
+    Rect d(Point(coord_t(0)), Point(coord_t(4)));
+    PartitionDesc p0 = PartitionDesc::tiling(
+        Point(coord_t(6)), Point(coord_t(0)), Point(coord_t(24)));
+    PartitionDesc p1 = PartitionDesc::tiling(
+        Point(coord_t(6)), Point(coord_t(2)), Point(coord_t(22)));
+
+    IndexTask r;
+    r.launchDomain = d;
+    r.args.emplace_back(1, p1, Privilege::Read);
+    IndexTask w;
+    w.launchDomain = d;
+    w.args.emplace_back(1, p0, Privilege::Write);
+
+    ConstraintChecker c;
+    c.add(r);
+    EXPECT_EQ(c.admits(w, false), FusionBlock::AntiDependence);
+}
+
+TEST(Constraints, ReductionIsolation)
+{
+    Rect d(Point(coord_t(0)), Point(coord_t(4)));
+    IndexTask rd;
+    rd.launchDomain = d;
+    rd.args.emplace_back(1, PartitionDesc::none(), Privilege::Reduce);
+
+    // Reader of the reduced store may not join, either direction.
+    IndexTask rdr;
+    rdr.launchDomain = d;
+    rdr.args.emplace_back(1, PartitionDesc::none(), Privilege::Read);
+    {
+        ConstraintChecker c;
+        c.add(rd);
+        EXPECT_EQ(c.admits(rdr, false), FusionBlock::Reduction);
+    }
+    {
+        ConstraintChecker c;
+        c.add(rdr);
+        EXPECT_EQ(c.admits(rd, false), FusionBlock::Reduction);
+    }
+    // A second reduction to the same store with the same op is fine.
+    IndexTask rd2 = rd;
+    {
+        ConstraintChecker c;
+        c.add(rd);
+        EXPECT_EQ(c.admits(rd2, false), FusionBlock::None);
+    }
+    // Mixed reduction operators are not.
+    IndexTask rd_max;
+    rd_max.launchDomain = d;
+    rd_max.args.emplace_back(1, PartitionDesc::none(),
+                             Privilege::Reduce, ReductionOp::Max);
+    {
+        ConstraintChecker c;
+        c.add(rd);
+        EXPECT_EQ(c.admits(rd_max, false), FusionBlock::Reduction);
+    }
+}
+
+TEST(Constraints, OpaqueBlocksButHeadStillEmits)
+{
+    Rect d(Point(coord_t(0)), Point(coord_t(4)));
+    IndexTask t;
+    t.launchDomain = d;
+    ConstraintChecker c;
+    EXPECT_EQ(c.admits(t, true), FusionBlock::Opaque);
+}
+
+TEST(Constraints, SinglePointRelaxationAllowsAliasedChains)
+{
+    Rect d(Point(coord_t(0)), Point(coord_t(1)));
+    PartitionDesc p0 = PartitionDesc::tiling(
+        Point(coord_t(24)), Point(coord_t(0)), Point(coord_t(24)));
+    PartitionDesc p1 = PartitionDesc::tiling(
+        Point(coord_t(22)), Point(coord_t(2)), Point(coord_t(22)));
+    IndexTask w;
+    w.launchDomain = d;
+    w.args.emplace_back(1, p0, Privilege::Write);
+    IndexTask r;
+    r.launchDomain = d;
+    r.args.emplace_back(1, p1, Privilege::Read);
+    ConstraintChecker c;
+    c.add(w);
+    EXPECT_EQ(c.admits(r, false), FusionBlock::None);
+}
+
+TEST(Constraints, RelaxationDisabledOncePrefixIsMultiPoint)
+{
+    Rect multi(Point(coord_t(0)), Point(coord_t(4)));
+    PartitionDesc p0 = PartitionDesc::tiling(
+        Point(coord_t(6)), Point(coord_t(0)), Point(coord_t(24)));
+    PartitionDesc p1 = PartitionDesc::tiling(
+        Point(coord_t(6)), Point(coord_t(1)), Point(coord_t(23)));
+    IndexTask w;
+    w.launchDomain = multi;
+    w.args.emplace_back(1, p0, Privilege::Write);
+    IndexTask r;
+    r.launchDomain = multi;
+    r.args.emplace_back(1, p1, Privilege::Read);
+    ConstraintChecker c;
+    c.add(w);
+    EXPECT_NE(c.admits(r, false), FusionBlock::None);
+}
+
+} // namespace
+} // namespace diffuse

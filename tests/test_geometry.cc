@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the integer geometry primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace diffuse {
+namespace {
+
+TEST(Point, ConstructionAndArithmetic)
+{
+    Point a(3, 4);
+    Point b(1, 2);
+    EXPECT_EQ(a.dim, 2);
+    EXPECT_EQ((a + b)[0], 4);
+    EXPECT_EQ((a + b)[1], 6);
+    EXPECT_EQ((a - b)[0], 2);
+    EXPECT_EQ((a * b)[1], 8);
+    EXPECT_EQ(a.volume(), 12);
+    EXPECT_EQ(Point::zero(3).volume(), 0);
+    EXPECT_EQ(Point::one(3).volume(), 1);
+}
+
+TEST(Point, Equality)
+{
+    EXPECT_EQ(Point(1, 2), Point(1, 2));
+    EXPECT_NE(Point(1, 2), Point(2, 1));
+    EXPECT_NE(Point(coord_t(1)), Point(1, 0));
+}
+
+TEST(Rect, VolumeAndEmpty)
+{
+    Rect r(Point(0, 0), Point(4, 4));
+    EXPECT_EQ(r.volume(), 16);
+    EXPECT_FALSE(r.empty());
+    Rect e(Point(2, 2), Point(2, 5));
+    EXPECT_TRUE(e.empty());
+    EXPECT_EQ(e.volume(), 0);
+}
+
+TEST(Rect, Contains)
+{
+    Rect r(Point(1, 1), Point(4, 4));
+    EXPECT_TRUE(r.contains(Point(1, 1)));
+    EXPECT_TRUE(r.contains(Point(3, 3)));
+    EXPECT_FALSE(r.contains(Point(4, 3)));
+    EXPECT_TRUE(r.contains(Rect(Point(2, 2), Point(3, 3))));
+    EXPECT_FALSE(r.contains(Rect(Point(0, 0), Point(2, 2))));
+}
+
+TEST(Rect, Intersect)
+{
+    Rect a(Point(0, 0), Point(4, 4));
+    Rect b(Point(2, 2), Point(6, 6));
+    Rect c = a.intersect(b);
+    EXPECT_EQ(c, Rect(Point(2, 2), Point(4, 4)));
+    Rect d = a.intersect(Rect(Point(5, 5), Point(7, 7)));
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(Rect, FromShape)
+{
+    Rect r = Rect::fromShape(Point(3, 5));
+    EXPECT_EQ(r.lo, Point::zero(2));
+    EXPECT_EQ(r.volume(), 15);
+}
+
+TEST(PointIterator, RowMajorOrder)
+{
+    Rect r(Point(0, 0), Point(2, 3));
+    std::vector<Point> pts;
+    for (PointIterator it(r); it.valid(); it.step())
+        pts.push_back(*it);
+    ASSERT_EQ(pts.size(), 6u);
+    EXPECT_EQ(pts[0], Point(0, 0));
+    EXPECT_EQ(pts[1], Point(0, 1));
+    EXPECT_EQ(pts[3], Point(1, 0));
+    EXPECT_EQ(pts[5], Point(1, 2));
+}
+
+TEST(PointIterator, EmptyRect)
+{
+    Rect r(Point(0, 0), Point(0, 3));
+    PointIterator it(r);
+    EXPECT_FALSE(it.valid());
+}
+
+TEST(Linearize, RoundTrip)
+{
+    Rect r(Point(2, 3), Point(6, 9));
+    for (PointIterator it(r); it.valid(); it.step()) {
+        coord_t idx = linearize(r, *it);
+        EXPECT_EQ(delinearize(r, idx), *it);
+    }
+    EXPECT_EQ(linearize(r, r.lo), 0);
+}
+
+TEST(Rng, DeterministicAndBounded)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++) {
+        double x = a.uniform();
+        EXPECT_EQ(x, b.uniform());
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+    Rng c(7);
+    for (int i = 0; i < 100; i++) {
+        double v = c.uniform(3.0, 5.0);
+        EXPECT_GE(v, 3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+} // namespace
+} // namespace diffuse

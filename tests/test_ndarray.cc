@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Per-operation unit tests for cunumeric-mini against host references:
+ * every public op, slicing semantics, broadcasting of scalar stores,
+ * and reference-counting behaviour of handles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "cunumeric/ndarray.h"
+
+namespace diffuse {
+namespace {
+
+using num::Context;
+using num::NDArray;
+
+struct Fixture
+{
+    DiffuseRuntime rt;
+    Context ctx;
+
+    explicit Fixture(int gpus = 4)
+        : rt(rt::MachineConfig::withGpus(gpus), DiffuseOptions{}),
+          ctx(rt)
+    {}
+};
+
+void
+expectAll(Context &ctx, const NDArray &a,
+          const std::function<double(coord_t)> &expect,
+          double tol = 1e-12)
+{
+    auto v = ctx.toHost(a);
+    for (std::size_t i = 0; i < v.size(); i++)
+        ASSERT_NEAR(v[i], expect(coord_t(i)), tol) << "index " << i;
+}
+
+TEST(NDArrayOps, ZerosAndFill)
+{
+    Fixture f;
+    NDArray a = f.ctx.zeros(50, 3.5);
+    expectAll(f.ctx, a, [](coord_t) { return 3.5; });
+    f.ctx.fill(a, -1.25);
+    expectAll(f.ctx, a, [](coord_t) { return -1.25; });
+}
+
+TEST(NDArrayOps, BinaryOperators)
+{
+    Fixture f;
+    NDArray a = f.ctx.random(64, 11, 1.0, 2.0);
+    NDArray b = f.ctx.random(64, 12, 1.0, 2.0);
+    auto av = f.ctx.toHost(a), bv = f.ctx.toHost(b);
+    expectAll(f.ctx, f.ctx.add(a, b),
+              [&](coord_t i) { return av[i] + bv[i]; });
+    expectAll(f.ctx, f.ctx.sub(a, b),
+              [&](coord_t i) { return av[i] - bv[i]; });
+    expectAll(f.ctx, f.ctx.mul(a, b),
+              [&](coord_t i) { return av[i] * bv[i]; });
+    expectAll(f.ctx, f.ctx.div(a, b),
+              [&](coord_t i) { return av[i] / bv[i]; });
+    expectAll(f.ctx, f.ctx.maximum(a, b), [&](coord_t i) {
+        return std::max(av[i], bv[i]);
+    });
+    expectAll(f.ctx, f.ctx.minimum(a, b), [&](coord_t i) {
+        return std::min(av[i], bv[i]);
+    });
+}
+
+TEST(NDArrayOps, UnaryOperators)
+{
+    Fixture f;
+    NDArray a = f.ctx.random(64, 13, 0.1, 2.0);
+    auto av = f.ctx.toHost(a);
+    expectAll(f.ctx, f.ctx.neg(a), [&](coord_t i) { return -av[i]; });
+    expectAll(f.ctx, f.ctx.sqrt(a),
+              [&](coord_t i) { return std::sqrt(av[i]); });
+    expectAll(f.ctx, f.ctx.exp(a),
+              [&](coord_t i) { return std::exp(av[i]); });
+    expectAll(f.ctx, f.ctx.log(a),
+              [&](coord_t i) { return std::log(av[i]); });
+    expectAll(f.ctx, f.ctx.erf(a),
+              [&](coord_t i) { return std::erf(av[i]); });
+    NDArray n = f.ctx.neg(a);
+    expectAll(f.ctx, f.ctx.abs(n),
+              [&](coord_t i) { return av[i]; });
+}
+
+TEST(NDArrayOps, ScalarImmediateForms)
+{
+    Fixture f;
+    NDArray a = f.ctx.random(40, 14, 1.0, 3.0);
+    auto av = f.ctx.toHost(a);
+    expectAll(f.ctx, f.ctx.addScalar(a, 2.5),
+              [&](coord_t i) { return av[i] + 2.5; });
+    expectAll(f.ctx, f.ctx.mulScalar(-3.0, a),
+              [&](coord_t i) { return -3.0 * av[i]; });
+    expectAll(f.ctx, f.ctx.powScalar(a, 2.0),
+              [&](coord_t i) { return av[i] * av[i]; }, 1e-10);
+    expectAll(f.ctx, f.ctx.recip(1.0, a),
+              [&](coord_t i) { return 1.0 / av[i]; });
+    NDArray b = f.ctx.random(40, 15, 1.0, 3.0);
+    auto bv = f.ctx.toHost(b);
+    expectAll(f.ctx, f.ctx.axpy(a, 0.5, b),
+              [&](coord_t i) { return av[i] + 0.5 * bv[i]; });
+}
+
+TEST(NDArrayOps, Reductions)
+{
+    Fixture f;
+    NDArray a = f.ctx.random(100, 16, -1.0, 1.0);
+    NDArray b = f.ctx.random(100, 17, -1.0, 1.0);
+    auto av = f.ctx.toHost(a), bv = f.ctx.toHost(b);
+    double sum = 0, dot = 0, nsq = 0;
+    for (int i = 0; i < 100; i++) {
+        sum += av[i];
+        dot += av[i] * bv[i];
+        nsq += av[i] * av[i];
+    }
+    EXPECT_NEAR(f.ctx.value(f.ctx.sum(a)), sum, 1e-10);
+    EXPECT_NEAR(f.ctx.value(f.ctx.dot(a, b)), dot, 1e-10);
+    EXPECT_NEAR(f.ctx.value(f.ctx.norm2Sq(a)), nsq, 1e-10);
+}
+
+TEST(NDArrayOps, ScalarStoreArithmetic)
+{
+    Fixture f;
+    NDArray a = f.ctx.scalar(12.0);
+    NDArray b = f.ctx.scalar(3.0);
+    EXPECT_DOUBLE_EQ(f.ctx.value(f.ctx.scalarDiv(a, b)), 4.0);
+    EXPECT_DOUBLE_EQ(f.ctx.value(f.ctx.scalarMul(a, b)), 36.0);
+    EXPECT_DOUBLE_EQ(f.ctx.value(f.ctx.scalarSub(a, b)), 9.0);
+    EXPECT_DOUBLE_EQ(f.ctx.value(f.ctx.scalarSqrt(b)),
+                     std::sqrt(3.0));
+    NDArray c = f.ctx.scalar(0.0);
+    f.ctx.scalarAssign(c, a);
+    EXPECT_DOUBLE_EQ(f.ctx.value(c), 12.0);
+}
+
+TEST(NDArrayOps, ScalarCoefficientVectorOps)
+{
+    Fixture f;
+    NDArray x = f.ctx.random(30, 18);
+    NDArray y = f.ctx.random(30, 19);
+    NDArray alpha = f.ctx.scalar(0.25);
+    auto xv = f.ctx.toHost(x), yv = f.ctx.toHost(y);
+    expectAll(f.ctx, f.ctx.axpyS(x, alpha, y),
+              [&](coord_t i) { return xv[i] + 0.25 * yv[i]; });
+    expectAll(f.ctx, f.ctx.axmyS(x, alpha, y),
+              [&](coord_t i) { return xv[i] - 0.25 * yv[i]; });
+    expectAll(f.ctx, f.ctx.aypxS(x, alpha, y),
+              [&](coord_t i) { return 0.25 * xv[i] + yv[i]; });
+    f.ctx.axpyInto(x, alpha, y, /*subtract=*/true);
+    expectAll(f.ctx, x,
+              [&](coord_t i) { return xv[i] - 0.25 * yv[i]; });
+}
+
+TEST(NDArraySlicing, OneDimensional)
+{
+    Fixture f;
+    NDArray a = f.ctx.random(20, 20);
+    auto av = f.ctx.toHost(a);
+    NDArray s = a.slice(5, 15);
+    EXPECT_EQ(s.size(), 10);
+    EXPECT_EQ(s.store(), a.store()); // views alias the parent store
+    auto sv = f.ctx.toHost(s);
+    for (int i = 0; i < 10; i++)
+        EXPECT_DOUBLE_EQ(sv[i], av[i + 5]);
+    // Slice of a slice composes offsets.
+    NDArray s2 = s.slice(2, 6);
+    auto s2v = f.ctx.toHost(s2);
+    for (int i = 0; i < 4; i++)
+        EXPECT_DOUBLE_EQ(s2v[i], av[i + 7]);
+}
+
+TEST(NDArraySlicing, TwoDimensionalViewsAndAssign)
+{
+    Fixture f;
+    NDArray a = f.ctx.zeros2d(6, 8, 1.0);
+    NDArray interior = a.slice2d(1, 5, 1, 7);
+    EXPECT_EQ(interior.shape(), Point(4, 6));
+    f.ctx.fill(interior, 9.0);
+    auto av = f.ctx.toHost(a);
+    for (coord_t i = 0; i < 6; i++) {
+        for (coord_t j = 0; j < 8; j++) {
+            bool inside = i >= 1 && i < 5 && j >= 1 && j < 7;
+            EXPECT_DOUBLE_EQ(av[std::size_t(i * 8 + j)],
+                             inside ? 9.0 : 1.0);
+        }
+    }
+}
+
+TEST(NDArraySlicing, ViewPartitionsDifferByOffset)
+{
+    Fixture f;
+    NDArray a = f.ctx.zeros(24);
+    PartitionDesc p1 = a.slice(0, 20).partition(4);
+    PartitionDesc p2 = a.slice(2, 22).partition(4);
+    PartitionDesc p3 = a.slice(0, 20).partition(4);
+    EXPECT_NE(p1, p2);
+    EXPECT_EQ(p1, p3);
+}
+
+TEST(NDArrayHandles, CopySharesStore)
+{
+    Fixture f;
+    NDArray a = f.ctx.zeros(16, 2.0);
+    NDArray b = a; // NumPy reference semantics
+    f.ctx.fill(b, 5.0);
+    expectAll(f.ctx, a, [](coord_t) { return 5.0; });
+}
+
+TEST(NDArrayHandles, DropReleasesStore)
+{
+    Fixture f;
+    std::size_t base = f.rt.low().liveStores();
+    {
+        NDArray a = f.ctx.zeros(16);
+        EXPECT_EQ(f.rt.low().liveStores(), base + 1);
+    }
+    EXPECT_EQ(f.rt.low().liveStores(), base);
+}
+
+TEST(NDArrayOps, BroadcastScalarIntoElementwise)
+{
+    Fixture f;
+    NDArray a = f.ctx.random(32, 21);
+    NDArray s = f.ctx.scalar(10.0);
+    auto av = f.ctx.toHost(a);
+    expectAll(f.ctx, f.ctx.add(a, s),
+              [&](coord_t i) { return av[i] + 10.0; });
+}
+
+TEST(NDArrayOps, TwoDimensionalElementwise)
+{
+    Fixture f;
+    NDArray a = f.ctx.random2d(12, 10, 22);
+    NDArray b = f.ctx.random2d(12, 10, 23);
+    auto av = f.ctx.toHost(a), bv = f.ctx.toHost(b);
+    auto c = f.ctx.toHost(f.ctx.mul(a, b));
+    for (std::size_t i = 0; i < c.size(); i++)
+        EXPECT_DOUBLE_EQ(c[i], av[i] * bv[i]);
+}
+
+} // namespace
+} // namespace diffuse

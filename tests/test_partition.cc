@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for structured partitions: the sub-store bounds formula
+ * of paper Fig 3, constant-time equality, coverage, and shape-class
+ * keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fusion.h"
+#include "core/partition.h"
+
+namespace diffuse {
+namespace {
+
+TEST(Partition, Fig3aTwoByTwoTiling)
+{
+    // 2x2 tiling of a 4x4 store over a 2x2 launch domain.
+    Rect store = Rect::fromShape(Point(4, 4));
+    PartitionDesc p = PartitionDesc::tiling(
+        Point(2, 2), Point::zero(2), Point(4, 4), PROJ_IDENTITY);
+    EXPECT_EQ(p.boundsFor(Point(0, 0), store),
+              Rect(Point(0, 0), Point(2, 2)));
+    EXPECT_EQ(p.boundsFor(Point(1, 1), store),
+              Rect(Point(2, 2), Point(4, 4)));
+    EXPECT_EQ(p.boundsFor(Point(0, 1), store),
+              Rect(Point(0, 2), Point(2, 4)));
+}
+
+TEST(Partition, Fig3bRowTiling)
+{
+    // 1x4 tiles over a 4x1 domain: row blocks.
+    Rect store = Rect::fromShape(Point(4, 4));
+    PartitionDesc p = PartitionDesc::tiling(
+        Point(1, 4), Point::zero(2), Point(4, 4), PROJ_IDENTITY);
+    for (coord_t i = 0; i < 4; i++) {
+        EXPECT_EQ(p.boundsFor(Point(i, coord_t(0)), store),
+                  Rect(Point(i, coord_t(0)), Point(i + 1, coord_t(4))));
+    }
+}
+
+TEST(Partition, Fig3cOffsetTiling)
+{
+    // 1x1 tiles offset by (1,1): a partition of a subset of the store.
+    Rect store = Rect::fromShape(Point(4, 4));
+    PartitionDesc p = PartitionDesc::tiling(
+        Point(1, 1), Point(1, 1), Point(2, 2), PROJ_IDENTITY);
+    EXPECT_EQ(p.boundsFor(Point(0, 0), store),
+              Rect(Point(1, 1), Point(2, 2)));
+    EXPECT_EQ(p.boundsFor(Point(1, 1), store),
+              Rect(Point(2, 2), Point(3, 3)));
+}
+
+TEST(Partition, Fig3dAliasedProjection)
+{
+    // A vector tiled over a 2-D domain with a projection dropping the
+    // second coordinate: points (p, *) all map to the same sub-store.
+    Rect store = Rect::fromShape(Point(coord_t(4)));
+    PartitionDesc p = PartitionDesc::tiling(
+        Point(coord_t(2)), Point::zero(1), Point(coord_t(4)),
+        PROJ_DROP_COL);
+    EXPECT_EQ(p.boundsFor(Point(0, 0), store),
+              Rect(Point(coord_t(0)), Point(coord_t(2))));
+    EXPECT_EQ(p.boundsFor(Point(0, 1), store),
+              p.boundsFor(Point(0, 0), store));
+    EXPECT_EQ(p.boundsFor(Point(1, 0), store),
+              Rect(Point(coord_t(2)), Point(coord_t(4))));
+}
+
+TEST(Partition, RowsProjectionFor1dLaunchOver2dStore)
+{
+    Rect store = Rect::fromShape(Point(8, 6));
+    PartitionDesc p = PartitionDesc::tiling(
+        Point(2, 6), Point::zero(2), Point(8, 6), PROJ_ROWS_2D);
+    EXPECT_EQ(p.boundsFor(Point(coord_t(0)), store),
+              Rect(Point(0, 0), Point(2, 6)));
+    EXPECT_EQ(p.boundsFor(Point(coord_t(3)), store),
+              Rect(Point(6, 0), Point(8, 6)));
+}
+
+TEST(Partition, ClampingAtStoreEdge)
+{
+    // 7 elements over 4 points with tile 2: last tile is short, and a
+    // fifth point would be empty.
+    Rect store = Rect::fromShape(Point(coord_t(7)));
+    PartitionDesc p = PartitionDesc::tiling(
+        Point(coord_t(2)), Point::zero(1), Point(coord_t(7)),
+        PROJ_IDENTITY);
+    EXPECT_EQ(p.boundsFor(Point(coord_t(3)), store).volume(), 1);
+    EXPECT_EQ(p.boundsFor(Point(coord_t(4)), store).volume(), 0);
+}
+
+TEST(Partition, ConstantTimeEquality)
+{
+    PartitionDesc a = PartitionDesc::tiling(
+        Point(coord_t(4)), Point(coord_t(1)), Point(coord_t(16)));
+    PartitionDesc b = a;
+    EXPECT_EQ(a, b);
+    b.offset = Point(coord_t(2));
+    EXPECT_NE(a, b); // shifted views are different partitions
+    EXPECT_NE(PartitionDesc::none(), a);
+    EXPECT_EQ(PartitionDesc::none(), PartitionDesc::none());
+    EXPECT_NE(PartitionDesc::imagePartition(1),
+              PartitionDesc::imagePartition(2));
+    EXPECT_EQ(PartitionDesc::imagePartition(3),
+              PartitionDesc::imagePartition(3));
+}
+
+TEST(Partition, StructuralHashDiscriminates)
+{
+    PartitionDesc a = PartitionDesc::tiling(
+        Point(coord_t(4)), Point(coord_t(0)), Point(coord_t(16)));
+    PartitionDesc b = PartitionDesc::tiling(
+        Point(coord_t(4)), Point(coord_t(1)), Point(coord_t(16)));
+    EXPECT_NE(a.structuralHash(), b.structuralHash());
+    EXPECT_EQ(a.structuralHash(), a.structuralHash());
+}
+
+TEST(Partition, CoversDetectsFullAndPartialTilings)
+{
+    Rect store = Rect::fromShape(Point(coord_t(16)));
+    Rect domain(Point(coord_t(0)), Point(coord_t(4)));
+    PartitionDesc full = PartitionDesc::tiling(
+        Point(coord_t(4)), Point::zero(1), Point(coord_t(16)));
+    EXPECT_TRUE(FusionPlanner::covers(full, store, domain));
+
+    PartitionDesc offset = PartitionDesc::tiling(
+        Point(coord_t(4)), Point(coord_t(1)), Point(coord_t(14)));
+    EXPECT_FALSE(FusionPlanner::covers(offset, store, domain));
+
+    // Too few points to cover the store.
+    Rect small_domain(Point(coord_t(0)), Point(coord_t(2)));
+    EXPECT_FALSE(FusionPlanner::covers(full, store, small_domain));
+
+    EXPECT_TRUE(FusionPlanner::covers(PartitionDesc::none(), store,
+                                      domain));
+}
+
+TEST(Partition, ShapeClassKeyIgnoresOffsetButNotExtent)
+{
+    Rect store = Rect::fromShape(Point(coord_t(18)));
+    PartitionDesc a = PartitionDesc::tiling(
+        Point(coord_t(4)), Point(coord_t(0)), Point(coord_t(16)));
+    PartitionDesc b = PartitionDesc::tiling(
+        Point(coord_t(4)), Point(coord_t(2)), Point(coord_t(16)));
+    PartitionDesc c = PartitionDesc::tiling(
+        Point(coord_t(4)), Point(coord_t(0)), Point(coord_t(14)));
+    // Same tile + extent, different offset: same per-point extents.
+    EXPECT_EQ(a.shapeClassKey(store), b.shapeClassKey(store));
+    // Different view extent: different piece shapes.
+    EXPECT_NE(a.shapeClassKey(store), c.shapeClassKey(store));
+}
+
+TEST(Partition, LayoutKeyIncludesDomain)
+{
+    PartitionDesc a = PartitionDesc::tiling(
+        Point(coord_t(4)), Point(coord_t(0)), Point(coord_t(16)));
+    Rect d1(Point(coord_t(0)), Point(coord_t(4)));
+    Rect d2(Point(coord_t(0)), Point(coord_t(8)));
+    EXPECT_NE(layoutKeyFor(a, d1), layoutKeyFor(a, d2));
+    EXPECT_EQ(layoutKeyFor(a, d1), layoutKeyFor(a, d1));
+    // Reserved values are never produced.
+    EXPECT_GE(layoutKeyFor(a, d1), 2u);
+}
+
+} // namespace
+} // namespace diffuse

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The repository's strongest end-to-end property: *fusion never
+ * changes results*. Random programs — chains of element-wise ops,
+ * slicing views, in-place view assignments and reductions — are
+ * generated from a seed and executed with fusion on and off, across
+ * GPU counts; outputs must agree to FP tolerance. This exercises the
+ * whole stack: constraints, temp elimination, memoization, kernel
+ * passes, executor, coherence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "cunumeric/ndarray.h"
+
+namespace diffuse {
+namespace {
+
+using num::Context;
+using num::NDArray;
+
+DiffuseOptions
+opts(bool fuse)
+{
+    DiffuseOptions o;
+    o.fusionEnabled = fuse;
+    return o;
+}
+
+/**
+ * Interpret a seeded random program against a context. Programs keep
+ * a pool of live arrays, apply random ops (sometimes dropping
+ * references so temporaries appear), occasionally assign into views,
+ * and finish by hashing all live arrays.
+ */
+std::vector<double>
+runProgram(Context &ctx, DiffuseRuntime &rt, std::uint64_t seed,
+           int steps)
+{
+    Rng rng(seed);
+    const coord_t n = 96;
+    std::vector<NDArray> pool;
+    pool.push_back(ctx.random(n, seed * 3 + 1, 0.5, 2.0));
+    pool.push_back(ctx.random(n, seed * 3 + 2, 0.5, 2.0));
+    pool.push_back(ctx.random(n + 8, seed * 3 + 3, 0.5, 2.0));
+
+    for (int s = 0; s < steps; s++) {
+        switch (rng.below(10)) {
+          case 0: {
+            // Binary op on two same-length arrays.
+            NDArray &a = pool[rng.below(2)];
+            NDArray &b = pool[rng.below(2)];
+            pool.push_back(rng.below(2) ? ctx.add(a, b)
+                                        : ctx.mul(a, b));
+            break;
+          }
+          case 1:
+            pool.push_back(ctx.mulScalar(
+                rng.uniform(0.5, 1.5), pool[rng.below(2)]));
+            break;
+          case 2:
+            pool.push_back(ctx.sqrt(ctx.abs(pool[rng.below(2)])));
+            break;
+          case 3:
+            pool.push_back(ctx.addScalar(pool[rng.below(2)],
+                                         rng.uniform(-1.0, 1.0)));
+            break;
+          case 4: {
+            // Shifted-view arithmetic on the long array.
+            NDArray &big = pool[2];
+            NDArray left = big.slice(0, n);
+            NDArray right = big.slice(8, n + 8);
+            pool.push_back(ctx.add(left, right));
+            break;
+          }
+          case 5: {
+            // In-place view assignment (aliasing write).
+            NDArray &big = pool[2];
+            NDArray mid = big.slice(4, n + 4);
+            NDArray src = ctx.mulScalar(0.5, pool[rng.below(2)]);
+            ctx.assign(mid, src);
+            break;
+          }
+          case 6: {
+            // Reduction + scalar-coefficient vector op.
+            NDArray d = ctx.dot(pool[0], pool[1]);
+            NDArray scaled = ctx.axpyS(pool[0], d, pool[1]);
+            pool.push_back(ctx.mulScalar(1e-3, scaled));
+            break;
+          }
+          case 7: {
+            // Drop a reference to create a dead intermediate.
+            NDArray t = ctx.addScalar(pool[rng.below(2)], 1.0);
+            NDArray u = ctx.mul(t, t);
+            pool.push_back(ctx.sub(u, pool[rng.below(2)]));
+            break; // t, u die here
+          }
+          case 8:
+            if (rng.below(3) == 0)
+                rt.flushWindow(); // random sync points
+            break;
+          default:
+            pool.push_back(
+                ctx.maximum(pool[rng.below(2)],
+                            ctx.neg(pool[rng.below(2)])));
+            break;
+        }
+        // Keep the live set bounded; drops create temporaries.
+        if (pool.size() > 8)
+            pool.erase(pool.begin() + 3);
+        // Refresh slot 0/1 occasionally so chains stay well-scaled.
+        if (rng.below(7) == 0)
+            pool[rng.below(2)] = ctx.random(n, seed + 77 + s, 0.5,
+                                            2.0);
+    }
+
+    std::vector<double> digest;
+    for (NDArray &a : pool) {
+        auto v = ctx.toHost(a);
+        digest.insert(digest.end(), v.begin(), v.end());
+    }
+    return digest;
+}
+
+class FusionEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(FusionEquivalence, FusedMatchesUnfused)
+{
+    auto [gpus, seed] = GetParam();
+    std::vector<double> results[2];
+    for (bool fuse : {false, true}) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(gpus),
+                          opts(fuse));
+        Context ctx(rt);
+        results[fuse] = runProgram(ctx, rt, std::uint64_t(seed), 40);
+    }
+    ASSERT_EQ(results[0].size(), results[1].size());
+    for (std::size_t i = 0; i < results[0].size(); i++) {
+        ASSERT_NEAR(results[0][i], results[1][i],
+                    1e-9 * (1.0 + std::abs(results[0][i])))
+            << "gpus=" << gpus << " seed=" << seed << " idx=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GpusAndSeeds, FusionEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Range(0, 6)));
+
+class AblationEquivalence : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AblationEquivalence, EveryConfigurationAgrees)
+{
+    // All ablation configurations must also preserve semantics:
+    // task-fusion-only, no-temp-elimination, no-memoization.
+    int seed = GetParam();
+    std::vector<std::vector<double>> results;
+    std::vector<DiffuseOptions> configs;
+    configs.push_back(opts(false));
+    configs.push_back(opts(true));
+    {
+        DiffuseOptions o = opts(true);
+        o.kernelOptimization = false;
+        configs.push_back(o);
+    }
+    {
+        DiffuseOptions o = opts(true);
+        o.tempElimination = false;
+        configs.push_back(o);
+    }
+    {
+        DiffuseOptions o = opts(true);
+        o.memoization = false;
+        configs.push_back(o);
+    }
+    for (const DiffuseOptions &o : configs) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+        Context ctx(rt);
+        results.push_back(
+            runProgram(ctx, rt, std::uint64_t(seed), 30));
+    }
+    for (std::size_t c = 1; c < results.size(); c++) {
+        ASSERT_EQ(results[0].size(), results[c].size());
+        for (std::size_t i = 0; i < results[0].size(); i++) {
+            ASSERT_NEAR(results[0][i], results[c][i],
+                        1e-9 * (1.0 + std::abs(results[0][i])))
+                << "config=" << c << " seed=" << seed;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AblationEquivalence,
+                         ::testing::Range(0, 4));
+
+} // namespace
+} // namespace diffuse

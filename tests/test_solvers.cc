@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Solver tests: CG/BiCGSTAB/GMG converge on Poisson systems, fused and
+ * unfused runs agree bit-for-bit-ish, natural and manually-fused CG
+ * agree, and petsc-mini produces the same iterates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "petsc/petsc.h"
+#include "solvers/solvers.h"
+
+namespace diffuse {
+namespace {
+
+DiffuseOptions
+opts(bool fuse)
+{
+    DiffuseOptions o;
+    o.fusionEnabled = fuse;
+    return o;
+}
+
+struct Harness
+{
+    DiffuseRuntime rt;
+    num::Context ctx;
+    sp::SparseContext sctx;
+    solvers::SolverContext sol;
+
+    Harness(int gpus, bool fuse)
+        : rt(rt::MachineConfig::withGpus(gpus), opts(fuse)), ctx(rt),
+          sctx(ctx), sol(ctx, sctx)
+    {}
+};
+
+class CgTest : public ::testing::TestWithParam<std::tuple<int, bool>>
+{};
+
+TEST_P(CgTest, ConvergesOnPoisson)
+{
+    auto [gpus, fuse] = GetParam();
+    Harness h(gpus, fuse);
+    const coord_t nx = 10, ny = 10;
+    sp::CsrMatrix a = h.sctx.poisson2d(nx, ny);
+    num::NDArray b = h.ctx.zeros(nx * ny, 1.0);
+    double rs0 = double(nx * ny); // ||b||^2 with x0 = 0
+    double rs = 0.0;
+    num::NDArray x = h.sol.cg(a, b, 60, &rs);
+    EXPECT_LT(rs, 1e-8 * rs0);
+
+    // Residual check against a host SpMV.
+    auto xv = h.ctx.toHost(x);
+    num::NDArray ax = h.sctx.spmv(a, x);
+    auto axv = h.ctx.toHost(ax);
+    double resid = 0.0;
+    for (std::size_t i = 0; i < axv.size(); i++)
+        resid += (axv[i] - 1.0) * (axv[i] - 1.0);
+    EXPECT_LT(resid, 1e-8);
+    (void)xv;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GpusAndFusion, CgTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(false, true)));
+
+TEST(Solvers, FusedAndUnfusedCgAgree)
+{
+    const coord_t nx = 8, ny = 8;
+    std::vector<double> sols[2];
+    double rs[2];
+    for (bool fuse : {false, true}) {
+        Harness h(4, fuse);
+        sp::CsrMatrix a = h.sctx.poisson2d(nx, ny);
+        num::NDArray b = h.ctx.random(nx * ny, 55);
+        num::NDArray x = h.sol.cg(a, b, 25, &rs[fuse]);
+        sols[fuse] = h.ctx.toHost(x);
+    }
+    EXPECT_NEAR(rs[0], rs[1], 1e-12 * (1.0 + std::abs(rs[0])));
+    for (std::size_t i = 0; i < sols[0].size(); i++)
+        EXPECT_NEAR(sols[0][i], sols[1][i], 1e-10);
+}
+
+TEST(Solvers, ManualCgMatchesNaturalCg)
+{
+    const coord_t nx = 8, ny = 8;
+    Harness h(4, true);
+    sp::CsrMatrix a = h.sctx.poisson2d(nx, ny);
+    num::NDArray b = h.ctx.random(nx * ny, 56);
+    double rs_nat = 0.0, rs_man = 0.0;
+    num::NDArray x1 = h.sol.cg(a, b, 20, &rs_nat);
+
+    Harness hm(4, false); // manual baseline runs unfused
+    sp::CsrMatrix am = hm.sctx.poisson2d(nx, ny);
+    num::NDArray bm = hm.ctx.random(nx * ny, 56);
+    num::NDArray x2 = hm.sol.cgManual(am, bm, 20, &rs_man);
+
+    auto v1 = h.ctx.toHost(x1);
+    auto v2 = hm.ctx.toHost(x2);
+    EXPECT_NEAR(rs_nat, rs_man, 1e-10 * (1.0 + std::abs(rs_nat)));
+    for (std::size_t i = 0; i < v1.size(); i++)
+        EXPECT_NEAR(v1[i], v2[i], 1e-9);
+}
+
+TEST(Solvers, BicgstabConvergesOnPoisson)
+{
+    for (bool fuse : {false, true}) {
+        Harness h(4, fuse);
+        const coord_t nx = 10, ny = 10;
+        sp::CsrMatrix a = h.sctx.poisson2d(nx, ny);
+        num::NDArray b = h.ctx.zeros(nx * ny, 1.0);
+        double rs = 0.0;
+        num::NDArray x = h.sol.bicgstab(a, b, 50, &rs);
+        EXPECT_LT(rs, 1e-8 * double(nx * ny)) << "fuse=" << fuse;
+        (void)x;
+    }
+}
+
+TEST(Solvers, GmgPcgConvergesFasterThanPlainJacobiWould)
+{
+    for (bool fuse : {false, true}) {
+        Harness h(2, fuse);
+        const coord_t n = 128;
+        solvers::GmgHierarchy hier = h.sol.buildHierarchy1d(n, 3);
+        num::NDArray b = h.ctx.zeros(n, 1.0);
+        double rs = 0.0;
+        num::NDArray x = h.sol.gmgPcg(hier, b, 25, &rs);
+        // ||r||^2 drops from ||b||^2 = n by ~7 orders of magnitude;
+        // injection restriction is a mild preconditioner, so the
+        // bound is loose but still far beyond unpreconditioned CG.
+        EXPECT_LT(rs, 1e-6 * double(n)) << "fuse=" << fuse;
+        (void)x;
+    }
+}
+
+TEST(Solvers, GmgFusedMatchesUnfused)
+{
+    std::vector<double> sols[2];
+    for (bool fuse : {false, true}) {
+        Harness h(2, fuse);
+        const coord_t n = 64;
+        solvers::GmgHierarchy hier = h.sol.buildHierarchy1d(n, 3);
+        num::NDArray b = h.ctx.random(n, 57);
+        num::NDArray x = h.sol.gmgPcg(hier, b, 10);
+        sols[fuse] = h.ctx.toHost(x);
+    }
+    for (std::size_t i = 0; i < sols[0].size(); i++)
+        EXPECT_NEAR(sols[0][i], sols[1][i], 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// petsc-mini
+// ---------------------------------------------------------------------
+
+TEST(Petsc, CgMatchesDiffuseCg)
+{
+    const coord_t nx = 10, ny = 10;
+    const int iters = 30;
+
+    Harness h(4, true);
+    sp::CsrMatrix a = h.sctx.poisson2d(nx, ny);
+    num::NDArray b = h.ctx.zeros(nx * ny, 1.0);
+    double rs_diffuse = 0.0;
+    num::NDArray x = h.sol.cg(a, b, iters, &rs_diffuse);
+
+    pmini::PetscRuntime prt(rt::MachineConfig::withGpus(4),
+                            pmini::Mode::Real);
+    pmini::Mat pa = pmini::Mat::poisson2d(prt, nx, ny);
+    pmini::Vec pb(prt, nx * ny, 1.0), px(prt, nx * ny);
+    double rs_petsc = pmini::KspCg(prt, pa, pb, px, iters);
+
+    EXPECT_NEAR(rs_diffuse, rs_petsc,
+                1e-9 * (1.0 + std::abs(rs_petsc)));
+    auto xv = h.ctx.toHost(x);
+    for (std::size_t i = 0; i < xv.size(); i++)
+        EXPECT_NEAR(xv[i], px.data()[i], 1e-8);
+}
+
+TEST(Petsc, BicgstabMatchesDiffuseBicgstab)
+{
+    const coord_t nx = 8, ny = 8;
+    const int iters = 20;
+
+    Harness h(2, true);
+    sp::CsrMatrix a = h.sctx.poisson2d(nx, ny);
+    num::NDArray b = h.ctx.zeros(nx * ny, 1.0);
+    double rs_diffuse = 0.0;
+    h.sol.bicgstab(a, b, iters, &rs_diffuse);
+
+    pmini::PetscRuntime prt(rt::MachineConfig::withGpus(2),
+                            pmini::Mode::Real);
+    pmini::Mat pa = pmini::Mat::poisson2d(prt, nx, ny);
+    pmini::Vec pb(prt, nx * ny, 1.0), px(prt, nx * ny);
+    double rs_petsc = pmini::KspBiCgStab(prt, pa, pb, px, iters);
+
+    EXPECT_NEAR(rs_diffuse, rs_petsc,
+                1e-7 * (1.0 + std::abs(rs_petsc)));
+}
+
+TEST(Petsc, SimulatedModeChargesTime)
+{
+    pmini::PetscRuntime prt(rt::MachineConfig::withGpus(16),
+                            pmini::Mode::Simulated);
+    pmini::Mat a = pmini::Mat::poisson2d(prt, 64, 64);
+    pmini::Vec b(prt, 64 * 64, 1.0), x(prt, 64 * 64);
+    pmini::KspCg(prt, a, b, x, 10);
+    EXPECT_GT(prt.stats().simTime, 0.0);
+    EXPECT_GT(prt.stats().collectives, 0u);
+    EXPECT_GT(prt.stats().kernels, 0u);
+}
+
+TEST(Petsc, DotAllreduceScalesWithMachine)
+{
+    auto dot_time = [](int gpus) {
+        pmini::PetscRuntime prt(rt::MachineConfig::withGpus(gpus),
+                                pmini::Mode::Simulated);
+        pmini::Vec x(prt, 1 << 16), y(prt, 1 << 16);
+        prt.stats().reset();
+        pmini::VecDot(prt, x, y);
+        return prt.stats().commTime;
+    };
+    EXPECT_EQ(dot_time(1), 0.0);
+    EXPECT_GT(dot_time(16), dot_time(8));
+}
+
+} // namespace
+} // namespace diffuse

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Window mechanics and runtime-facade behaviour: flush triggers,
+ * scalar read-back sync, opaque-task passthrough, fusion-disabled
+ * mode, fused-task privilege promotion, and the greedy multi-group
+ * carving of long windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cunumeric/ndarray.h"
+
+namespace diffuse {
+namespace {
+
+using num::Context;
+using num::NDArray;
+
+DiffuseOptions
+opts(bool fuse, int window = 5)
+{
+    DiffuseOptions o;
+    o.fusionEnabled = fuse;
+    o.initialWindow = window;
+    return o;
+}
+
+TEST(Window, TasksBufferUntilWindowFills)
+{
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(2), opts(true, 8));
+    Context ctx(rt);
+    NDArray x = ctx.random(64, 1);
+    NDArray a = ctx.mulScalar(2.0, x);
+    NDArray b = ctx.addScalar(a, 1.0);
+    // Two tasks submitted, window size 8: nothing launched yet.
+    EXPECT_EQ(rt.fusionStats().tasksSubmitted, 2u);
+    EXPECT_EQ(rt.fusionStats().groupsLaunched, 0u);
+    rt.flushWindow();
+    EXPECT_GT(rt.fusionStats().groupsLaunched, 0u);
+    (void)b;
+}
+
+TEST(Window, ScalarReadbackFlushes)
+{
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(2), opts(true, 64));
+    Context ctx(rt);
+    NDArray x = ctx.zeros(32, 2.0);
+    NDArray d = ctx.dot(x, x);
+    EXPECT_EQ(rt.fusionStats().groupsLaunched, 0u);
+    EXPECT_DOUBLE_EQ(ctx.value(d), 128.0); // forces the flush
+    EXPECT_GT(rt.fusionStats().groupsLaunched, 0u);
+}
+
+TEST(Window, FusionDisabledForwardsEveryTask)
+{
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(2), opts(false));
+    Context ctx(rt);
+    NDArray x = ctx.random(64, 2);
+    NDArray a = ctx.mulScalar(2.0, x);
+    NDArray b = ctx.add(a, x);
+    NDArray c = ctx.mul(b, b);
+    rt.flushWindow();
+    (void)c;
+    EXPECT_EQ(rt.fusionStats().tasksSubmitted, 3u);
+    EXPECT_EQ(rt.fusionStats().groupsLaunched, 3u);
+    EXPECT_EQ(rt.fusionStats().fusedGroups, 0u);
+}
+
+TEST(Window, OpaqueTaskPassesThroughAndExecutes)
+{
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(2), opts(true));
+    Context ctx(rt);
+    const coord_t n = 16;
+    NDArray m = ctx.random2d(n, n, 3);
+    NDArray x = ctx.random(n, 4);
+    // GEMV is registered opaque (cuBLAS analogue): it still executes
+    // correctly, it just never joins a fused group.
+    NDArray pre = ctx.mulScalar(1.0, x);
+    NDArray y = ctx.matvec(m, pre);
+    NDArray post = ctx.mulScalar(2.0, y);
+    rt.flushWindow();
+    EXPECT_GT(
+        rt.fusionStats().blocks[std::size_t(FusionBlock::Opaque)], 0u);
+    auto mv = ctx.toHost(m);
+    auto xv = ctx.toHost(pre);
+    auto pv = ctx.toHost(post);
+    for (coord_t i = 0; i < n; i++) {
+        double sum = 0.0;
+        for (coord_t j = 0; j < n; j++)
+            sum += mv[std::size_t(i * n + j)] * xv[std::size_t(j)];
+        EXPECT_NEAR(pv[std::size_t(i)], 2.0 * sum, 1e-10);
+    }
+}
+
+TEST(Window, LongWindowCarvesMultipleGroups)
+{
+    // A window holding [elementwise x3, dot, elementwise x2] carves
+    // into three groups in one flush: the reduction isolates itself.
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), opts(true, 64));
+    Context ctx(rt);
+    NDArray x = ctx.random(128, 5);
+    NDArray a = ctx.mulScalar(2.0, x);
+    NDArray b = ctx.addScalar(a, 1.0);
+    NDArray c = ctx.mul(b, b);
+    NDArray d = ctx.dot(c, c);
+    NDArray e = ctx.axpyS(c, d, c);
+    NDArray f = ctx.mulScalar(0.5, e);
+    rt.flushWindow();
+    (void)f;
+    EXPECT_EQ(rt.fusionStats().tasksSubmitted, 6u);
+    // [mul,add,mul,dot] fuse (dot reads c via same view and reduces a
+    // fresh scalar); [axpy_s, mul_scalar] fuse after the reduction
+    // boundary.
+    EXPECT_EQ(rt.fusionStats().groupsLaunched, 2u);
+}
+
+TEST(Window, PrivilegePromotionToReadWrite)
+{
+    // A store written then read in one group carries RW on the fused
+    // task; verify through coherence: a subsequent same-view read is
+    // free, proving the fused task registered as the last writer.
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), opts(true));
+    Context ctx(rt);
+    NDArray x = ctx.random(256, 6);
+    NDArray a = ctx.mulScalar(2.0, x); // W a
+    NDArray b = ctx.addScalar(a, 1.0); // R a
+    rt.flushWindow();
+    double intra = rt.runtimeStats().bytesIntraNode;
+    NDArray c = ctx.mulScalar(3.0, b);
+    rt.flushWindow();
+    (void)c;
+    EXPECT_DOUBLE_EQ(rt.runtimeStats().bytesIntraNode, intra);
+}
+
+TEST(Window, RepeatedFlushesAreIdempotent)
+{
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(2), opts(true));
+    Context ctx(rt);
+    NDArray x = ctx.random(32, 7);
+    NDArray y = ctx.mulScalar(2.0, x);
+    rt.flushWindow();
+    auto launched = rt.fusionStats().groupsLaunched;
+    rt.flushWindow();
+    rt.flushWindow();
+    EXPECT_EQ(rt.fusionStats().groupsLaunched, launched);
+    (void)y;
+}
+
+TEST(Window, MaxWindowCapsGrowth)
+{
+    DiffuseOptions o = opts(true, 4);
+    o.maxWindow = 16;
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(2), o);
+    Context ctx(rt);
+    NDArray acc = ctx.random(64, 8);
+    for (int i = 0; i < 100; i++)
+        acc = ctx.addScalar(acc, 1.0);
+    rt.flushWindow();
+    EXPECT_LE(rt.fusionStats().windowSize, 16);
+}
+
+TEST(Window, WriteAfterWriteSameViewFusesAndLastWins)
+{
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), opts(true));
+    Context ctx(rt);
+    NDArray x = ctx.zeros(64, 1.0);
+    ctx.fill(x, 2.0);
+    ctx.fill(x, 7.0); // same partition: fusible, program order kept
+    rt.flushWindow();
+    EXPECT_EQ(rt.fusionStats().groupsLaunched, 1u);
+    auto v = ctx.toHost(x);
+    for (double d : v)
+        EXPECT_DOUBLE_EQ(d, 7.0);
+}
+
+TEST(Window, ResetPreservesWindowSize)
+{
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(2), opts(true, 4));
+    Context ctx(rt);
+    NDArray acc = ctx.random(64, 9);
+    for (int i = 0; i < 30; i++)
+        acc = ctx.addScalar(acc, 1.0);
+    rt.flushWindow();
+    int grown = rt.fusionStats().windowSize;
+    EXPECT_GT(grown, 4);
+    rt.fusionStats().reset();
+    EXPECT_EQ(rt.fusionStats().windowSize, grown);
+    EXPECT_EQ(rt.fusionStats().tasksSubmitted, 0u);
+}
+
+} // namespace
+} // namespace diffuse
