@@ -125,6 +125,21 @@ reductionOpName(ReductionOp op)
 /** Identity element of a reduction operator. */
 double reductionIdentity(ReductionOp op);
 
+/** Combine two values with a reduction operator. */
+inline double
+applyReduction(ReductionOp op, double acc, double v)
+{
+    switch (op) {
+      case ReductionOp::Sum:
+        return acc + v;
+      case ReductionOp::Max:
+        return acc > v ? acc : v;
+      case ReductionOp::Min:
+        return acc < v ? acc : v;
+    }
+    return acc;
+}
+
 } // namespace diffuse
 
 #endif // DIFFUSE_COMMON_TYPES_H

@@ -8,7 +8,7 @@ namespace diffuse {
 
 DiffuseRuntime::DiffuseRuntime(const rt::MachineConfig &machine,
                                DiffuseOptions options)
-    : options_(options), low_(machine, options.mode),
+    : options_(options), low_(machine, options.mode, options.workers),
       planner_(registry_, compiler_, stores_,
                PlannerOptions{options.tempElimination,
                               options.kernelOptimization}),
@@ -68,6 +68,9 @@ DiffuseRuntime::flushWindow()
     fusionStats_.flushes++;
     while (!window_.empty())
         processOne();
+    // Drain the asynchronous stream: flush is the paper's
+    // synchronization point, so every submitted group retires here.
+    low_.fence();
 }
 
 double
@@ -216,8 +219,10 @@ DiffuseRuntime::processOne()
 void
 DiffuseRuntime::scheduleGroup(const ExecutionGroup &group)
 {
-    rt::LaunchedTask low = lowerGroup(group, stores_, low_);
-    low_.execute(low);
+    // Submission is asynchronous: the group executes once its
+    // dependencies retire (or at the next fence), letting the window
+    // pipeline run ahead of the task stream.
+    low_.submit(lowerGroup(group, stores_, low_));
     fusionStats_.groupsLaunched++;
 }
 

@@ -7,7 +7,10 @@
  * (or is flushed by a scalar read-back or an explicit flush), the
  * fusion planner carves the window into fusible groups, the memoizer
  * replays previously compiled plans for isomorphic groups, and the
- * scheduler lowers each group to legion-mini for execution.
+ * scheduler lowers each group into legion-mini's asynchronous task
+ * stream, where it retires once its dependencies do. flushWindow()
+ * drains the window *and* fences the stream (see
+ * docs/architecture.md for the full pipeline).
  *
  * Window sizing follows the paper (§7): the window grows whenever all
  * tasks in a full window fused into one group, so steady state reaches
@@ -49,6 +52,12 @@ struct DiffuseOptions
     /** Upper bound on automatic window growth. */
     int maxWindow = 512;
     rt::ExecutionMode mode = rt::ExecutionMode::Real;
+    /**
+     * Worker threads sharding the per-point loop of retired index
+     * tasks (Real mode); <= 0 reads DIFFUSE_WORKERS (default 1).
+     * Results are bit-identical for every worker count.
+     */
+    int workers = 0;
 };
 
 /** Counters describing fusion behaviour. */

@@ -10,7 +10,7 @@ lowerGroup(const ExecutionGroup &group, const StoreTable &stores,
 {
     const IndexTask &task = group.task;
     rt::LaunchedTask low;
-    low.kernel = group.kernel.get();
+    low.kernel = group.kernel;
     low.numPoints = int(task.launchDomain.volume());
     low.scalars = task.scalars;
     low.name = task.name;

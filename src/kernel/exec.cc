@@ -25,20 +25,6 @@ readIndex(const BufferBinding &b, coord_t i)
     return 0;
 }
 
-inline double
-applyReduce(ReductionOp op, double acc, double v)
-{
-    switch (op) {
-      case ReductionOp::Sum:
-        return acc + v;
-      case ReductionOp::Max:
-        return acc > v ? acc : v;
-      case ReductionOp::Min:
-        return acc < v ? acc : v;
-    }
-    return acc;
-}
-
 /**
  * Extents of buffer `buf`. External buffers read their binding; local
  * buffers inherit the extents of any external argument sharing their
@@ -311,7 +297,7 @@ Executor::runDense(const KernelFunction &fn, const LoopNest &nest,
             }
             for (std::size_t r = 0; r < nest.reductions.size(); r++) {
                 partials[r] =
-                    applyReduce(nest.reductions[r].op, partials[r],
+                    applyReduction(nest.reductions[r].op, partials[r],
                                 regs[nest.reductions[r].srcReg]);
             }
         }
@@ -321,7 +307,7 @@ Executor::runDense(const KernelFunction &fn, const LoopNest &nest,
         const Reduction &red = nest.reductions[r];
         const BufferBinding &acc = bindings[red.accBuf];
         double *p = static_cast<double *>(acc.base);
-        *p = applyReduce(red.op, *p, partials[r]);
+        *p = applyReduction(red.op, *p, partials[r]);
     }
 }
 
@@ -367,6 +353,112 @@ Executor::runCsr(const LoopNest &nest,
             sum += vp[k] * xp[readIndex(colind, k) * x.stride[0]];
         yp[i * y.stride[0]] = sum;
     }
+}
+
+// ---------------------------------------------------------------------
+// WorkerPool
+// ---------------------------------------------------------------------
+
+int
+WorkerPool::defaultWorkers()
+{
+    const char *env = std::getenv("DIFFUSE_WORKERS");
+    if (env != nullptr) {
+        int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+        diffuse_warn("ignoring DIFFUSE_WORKERS=%s", env);
+    }
+    return 1;
+}
+
+WorkerPool::WorkerPool(int workers)
+{
+    if (workers <= 0)
+        workers = defaultWorkers();
+    threads_.reserve(std::size_t(workers - 1));
+    for (int w = 1; w < workers; w++)
+        threads_.emplace_back(&WorkerPool::workerLoop, this, w);
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    start_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::runShare(int worker)
+{
+    // A worker that wakes after the job already completed (the caller
+    // saw active_ == 0 and cleared fn_) has nothing to do.
+    const std::function<void(int, coord_t)> *fnp = fn_;
+    if (fnp == nullptr)
+        return;
+    const std::function<void(int, coord_t)> &fn = *fnp;
+    for (;;) {
+        coord_t i = nextItem_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= numItems_)
+            break;
+        fn(worker, i);
+    }
+}
+
+void
+WorkerPool::workerLoop(int worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            active_++;
+        }
+        runShare(worker);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            active_--;
+        }
+        done_.notify_one();
+    }
+}
+
+void
+WorkerPool::parallelFor(coord_t n,
+                        const std::function<void(int, coord_t)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (threads_.empty() || n == 1) {
+        for (coord_t i = 0; i < n; i++)
+            fn(0, i);
+        return;
+    }
+    {
+        // Publish the job. Completion of the previous job (active_ ==
+        // 0) is guaranteed by the wait at the end of this function, so
+        // job state is never mutated while a worker reads it.
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn_ = &fn;
+        numItems_ = n;
+        nextItem_.store(0, std::memory_order_relaxed);
+        generation_++;
+    }
+    start_.notify_all();
+    runShare(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return active_ == 0; });
+    fn_ = nullptr;
 }
 
 } // namespace kir

@@ -17,8 +17,13 @@
 #ifndef DIFFUSE_KERNEL_EXEC_H
 #define DIFFUSE_KERNEL_EXEC_H
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <functional>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "common/geometry.h"
@@ -104,6 +109,60 @@ class Executor
     std::vector<BufferBinding> all_;
     std::vector<std::vector<double>> localStorage_;
     std::vector<double> regs_;
+};
+
+/**
+ * Fixed pool of worker threads for sharding the per-point loop of an
+ * index task. Worker 0 is the calling thread; `workers() - 1` threads
+ * are spawned at construction and parked between jobs. Items are
+ * claimed from a shared atomic counter, so load balance is dynamic but
+ * any determinism requirement must be met by indexing results by item
+ * (not by worker), as the runtime's reduction merge does.
+ */
+class WorkerPool
+{
+  public:
+    /** `workers` <= 0 selects defaultWorkers(). */
+    explicit WorkerPool(int workers = 0);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Total workers, including the calling thread. */
+    int workers() const { return int(threads_.size()) + 1; }
+
+    /**
+     * Run `fn(worker, item)` for every item in [0, n), distributing
+     * items across workers; blocks until all items complete. `worker`
+     * is a dense id in [0, workers()) usable to index scratch state.
+     * Must not be called re-entrantly from inside a job.
+     */
+    void parallelFor(coord_t n,
+                     const std::function<void(int, coord_t)> &fn);
+
+    /**
+     * Worker count from the environment: DIFFUSE_WORKERS when set (>=
+     * 1), else 1 — parallel execution is opt-in so that default runs
+     * match the reference semantics exactly.
+     */
+    static int defaultWorkers();
+
+  private:
+    void workerLoop(int worker);
+    void runShare(int worker);
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable start_;
+    std::condition_variable done_;
+    const std::function<void(int, coord_t)> *fn_ = nullptr;
+    std::atomic<coord_t> nextItem_{0};
+    coord_t numItems_ = 0;
+    /** Spawned workers currently inside runShare(). */
+    int active_ = 0;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
 };
 
 } // namespace kir

@@ -40,11 +40,38 @@ linearOffset(const Rect &shape, const Point &p)
     return off;
 }
 
+/** Do the pieces of two accesses overlap across distinct points? */
+bool
+crossPointOverlap(const std::vector<Rect> &a, const std::vector<Rect> &b)
+{
+    for (std::size_t p = 0; p < a.size(); p++) {
+        if (a[p].empty())
+            continue;
+        for (std::size_t q = 0; q < b.size(); q++) {
+            if (p == q)
+                continue;
+            if (!a[p].intersect(b[q]).empty())
+                return true;
+        }
+    }
+    return false;
+}
+
 } // namespace
 
-LowRuntime::LowRuntime(const MachineConfig &machine, ExecutionMode mode)
-    : machine_(machine), mode_(mode)
-{}
+LowRuntime::LowRuntime(const MachineConfig &machine, ExecutionMode mode,
+                       int workers)
+    : machine_(machine), mode_(mode),
+      // Simulated mode never runs point tasks: no worker threads.
+      pool_(mode == ExecutionMode::Simulated ? 1 : workers),
+      executors_(std::size_t(pool_.workers())),
+      workerBindings_(std::size_t(pool_.workers())), stream_(machine)
+{
+    stream_.setExecuteFn(
+        [this](const LaunchedTask &task) { executeRetired(task); });
+    stream_.setRetireFn(
+        [this](const LaunchedTask &task) { finishRetired(task); });
+}
 
 StoreId
 LowRuntime::createStore(const Point &shape, DType dtype, double init)
@@ -92,13 +119,24 @@ LowRuntime::destroyStore(StoreId id)
     auto it = stores_.find(id);
     diffuse_assert(it != stores_.end(), "destroy of unknown store %llu",
                    (unsigned long long)id);
+    if (it->second.pendingUses > 0) {
+        // In-flight tasks still reference the allocation: defer the
+        // release until the last of them retires.
+        if (!it->second.zombie) {
+            it->second.zombie = true;
+            zombies_++;
+        }
+        return;
+    }
     stores_.erase(it);
+    stream_.forgetStore(id);
 }
 
 bool
 LowRuntime::storeExists(StoreId id) const
 {
-    return stores_.count(id) != 0;
+    auto it = stores_.find(id);
+    return it != stores_.end() && !it->second.zombie;
 }
 
 LowRuntime::StoreRec &
@@ -134,6 +172,7 @@ LowRuntime::storeDtype(StoreId id) const
 double *
 LowRuntime::dataF64(StoreId id)
 {
+    stream_.waitStore(id);
     StoreRec &r = rec(id);
     diffuse_assert(r.dtype == DType::F64, "store %llu is not f64",
                    (unsigned long long)id);
@@ -146,6 +185,7 @@ LowRuntime::dataF64(StoreId id)
 std::int32_t *
 LowRuntime::dataI32(StoreId id)
 {
+    stream_.waitStore(id);
     StoreRec &r = rec(id);
     diffuse_assert(r.dtype == DType::I32, "store %llu is not i32",
                    (unsigned long long)id);
@@ -156,6 +196,7 @@ LowRuntime::dataI32(StoreId id)
 std::int64_t *
 LowRuntime::dataI64(StoreId id)
 {
+    stream_.waitStore(id);
     StoreRec &r = rec(id);
     diffuse_assert(r.dtype == DType::I64, "store %llu is not i64",
                    (unsigned long long)id);
@@ -166,6 +207,7 @@ LowRuntime::dataI64(StoreId id)
 void
 LowRuntime::markInitialized(StoreId id)
 {
+    stream_.waitStore(id);
     StoreRec &r = rec(id);
     r.replicatedValid = true;
     r.lastWriteLayout = 0;
@@ -266,8 +308,63 @@ LowRuntime::buildBindings(const LaunchedTask &task, int p,
     }
 }
 
-void
-LowRuntime::execute(const LaunchedTask &task)
+bool
+LowRuntime::pointsIndependent(const LaunchedTask &task) const
+{
+    if (task.numPoints <= 1)
+        return false;
+    const kir::KernelFunction &fn = task.kernel->fn;
+    for (std::size_t wi = 0; wi < task.args.size(); wi++) {
+        const LowArg &w = task.args[wi];
+        if (privReduces(w.priv)) {
+            // Reductions run into private per-point accumulators and
+            // merge deterministically — but only for replicated f64
+            // accumulators (the merge adds whole-store slots, which
+            // is wrong for per-piece offsets), and only when the
+            // kernel never loads the accumulator.
+            if (!w.replicated || rec(w.store).dtype != DType::F64)
+                return false;
+            for (const kir::LoopNest &nest : fn.nests) {
+                for (const kir::Instr &ins : nest.body) {
+                    if (ins.op == kir::Op::LoadBuf &&
+                        ins.buf == int(wi))
+                        return false;
+                }
+            }
+            // Another argument on the same store would observe the
+            // point-by-point merge order of the sequential path.
+            for (std::size_t ri = 0; ri < task.args.size(); ri++) {
+                if (ri != wi && task.args[ri].store == w.store)
+                    return false;
+            }
+            continue;
+        }
+        if (!privWrites(w.priv))
+            continue;
+        // Replicated writes rely on sequential last-point-wins order.
+        if (w.replicated)
+            return false;
+        // Writes of distinct points must not overlap each other.
+        if (crossPointOverlap(w.pieces, w.pieces))
+            return false;
+        // Another argument of the same store must not access pieces a
+        // different point writes (the sequential point order would be
+        // observable through the shared allocation).
+        for (std::size_t ri = 0; ri < task.args.size(); ri++) {
+            if (ri == wi || task.args[ri].store != w.store)
+                continue;
+            const LowArg &r = task.args[ri];
+            if (r.replicated)
+                return false;
+            if (crossPointOverlap(r.pieces, w.pieces))
+                return false;
+        }
+    }
+    return true;
+}
+
+EventId
+LowRuntime::submit(LaunchedTask task)
 {
     diffuse_assert(task.kernel != nullptr, "task %s has no kernel",
                    task.name.c_str());
@@ -279,13 +376,15 @@ LowRuntime::execute(const LaunchedTask &task)
     stats_.indexTasks++;
     stats_.pointTasks += std::uint64_t(task.numPoints);
 
-    double overhead = machine_.runtimeOverhead();
+    TaskTiming timing;
+    timing.analysisSeconds = machine_.runtimeOverhead();
+    timing.pointSeconds.resize(std::size_t(task.numPoints));
 
     // Per-point cost: incoming communication, launch, compute. The
     // index task completes when its slowest point task does.
     double max_point_seconds = 0.0;
     double comm_at_max = 0.0, compute_at_max = 0.0;
-    std::vector<kir::BufferBinding> bindings;
+    std::vector<kir::BufferBinding> &bindings = workerBindings_[0];
     for (int p = 0; p < task.numPoints; p++) {
         double comm = 0.0;
         for (const LowArg &arg : task.args) {
@@ -299,6 +398,7 @@ LowRuntime::execute(const LaunchedTask &task)
         double compute = std::max(cost.bytes / machine_.hbmBandwidth,
                                   cost.wflops / machine_.flopRate);
         double t = comm + machine_.launchOverhead + compute;
+        timing.pointSeconds[std::size_t(p)] = t;
         if (t > max_point_seconds) {
             max_point_seconds = t;
             comm_at_max = comm;
@@ -327,16 +427,12 @@ LowRuntime::execute(const LaunchedTask &task)
             stats_.collectives++;
         }
     }
+    timing.collectiveSeconds = collective;
 
-    // Real execution: run every point task against host memory.
-    if (mode_ == ExecutionMode::Real) {
-        for (int p = 0; p < task.numPoints; p++) {
-            buildBindings(task, p, bindings, true);
-            executor_.run(fn, bindings, task.scalars);
-        }
-    }
-
-    // Coherence updates for written and reduced stores.
+    // Coherence updates for written and reduced stores. These run at
+    // submission — submission order is program order, so the coherence
+    // walk matches the sequential semantics even though execution is
+    // deferred.
     for (const LowArg &arg : task.args) {
         StoreRec &store = rec(arg.store);
         if (privWrites(arg.priv)) {
@@ -357,15 +453,147 @@ LowRuntime::execute(const LaunchedTask &task)
         }
     }
 
-    stats_.overheadTime +=
-        overhead + machine_.launchOverhead * task.numPoints;
+    stats_.overheadTime += timing.analysisSeconds +
+                           machine_.launchOverhead * task.numPoints;
     stats_.collectiveTime += collective;
-    stats_.simTime += overhead + max_point_seconds + collective;
+
+    // Only Real mode shards retired point tasks, so only it pays for
+    // the independence analysis.
+    task.parallelSafe = mode_ == ExecutionMode::Real &&
+                        pool_.workers() > 1 && pointsIndependent(task);
+
+    for (const LowArg &arg : task.args)
+        rec(arg.store).pendingUses++;
+
+    EventId id = stream_.submit(std::move(task), std::move(timing));
+    // Accumulate deltas (not totals) so RuntimeStats::reset() scopes
+    // simTime/busyTime to a measurement phase as it always did.
+    double critical = stream_.stats().criticalPathTime;
+    double busy = stream_.stats().busyTime;
+    stats_.simTime += critical - lastCriticalPath_;
+    stats_.busyTime += busy - lastBusyTime_;
+    lastCriticalPath_ = critical;
+    lastBusyTime_ = busy;
+    return id;
+}
+
+void
+LowRuntime::wait(EventId id)
+{
+    stream_.wait(id);
+}
+
+void
+LowRuntime::fence()
+{
+    stream_.fence();
+}
+
+void
+LowRuntime::execute(const LaunchedTask &task)
+{
+    wait(submit(task));
+}
+
+void
+LowRuntime::executeRetired(const LaunchedTask &task)
+{
+    if (mode_ != ExecutionMode::Real)
+        return;
+    const kir::KernelFunction &fn = task.kernel->fn;
+
+    // Materialize allocations serially: StoreRec mutation and stats
+    // accounting must not race with the sharded point loop.
+    for (const LowArg &arg : task.args)
+        ensureAllocated(rec(arg.store));
+
+    int np = task.numPoints;
+    if (!task.parallelSafe || pool_.workers() == 1 || np <= 1) {
+        // Sequential reference path: point tasks in point order.
+        std::vector<kir::BufferBinding> &b = workerBindings_[0];
+        for (int p = 0; p < np; p++) {
+            buildBindings(task, p, b, true);
+            executors_[0].run(fn, b, task.scalars);
+        }
+        return;
+    }
+
+    // Sharded path: every point runs on some worker with private
+    // bindings and interpreter state. Reduction accumulators divert to
+    // per-point slots so no two points touch shared memory.
+    stats_.tasksSharded++;
+    struct RedSlot
+    {
+        std::size_t arg;
+        coord_t vol;
+        std::vector<double> partials;
+    };
+    std::vector<RedSlot> reds;
+    for (std::size_t i = 0; i < task.args.size(); i++) {
+        const LowArg &arg = task.args[i];
+        if (!privReduces(arg.priv))
+            continue;
+        RedSlot rs;
+        rs.arg = i;
+        rs.vol = rec(arg.store).shape.volume();
+        rs.partials.assign(std::size_t(rs.vol) * std::size_t(np),
+                           reductionIdentity(arg.redop));
+        reds.push_back(std::move(rs));
+    }
+
+    pool_.parallelFor(np, [&](int worker, coord_t p) {
+        std::vector<kir::BufferBinding> &b =
+            workerBindings_[std::size_t(worker)];
+        buildBindings(task, int(p), b, true);
+        for (RedSlot &rs : reds) {
+            b[rs.arg].base =
+                rs.partials.data() + std::size_t(p) * std::size_t(rs.vol);
+        }
+        executors_[std::size_t(worker)].run(fn, b, task.scalars);
+    });
+
+    // Merge reduction partials in point order: the combine sequence
+    // is identical for every worker count, so sums stay bit-identical
+    // whether one worker ran all points or eight shared them.
+    for (const RedSlot &rs : reds) {
+        const LowArg &arg = task.args[rs.arg];
+        double *dst =
+            reinterpret_cast<double *>(rec(arg.store).data.data());
+        for (coord_t p = 0; p < np; p++) {
+            const double *src =
+                rs.partials.data() + std::size_t(p) * std::size_t(rs.vol);
+            for (coord_t e = 0; e < rs.vol; e++)
+                dst[e] = applyReduction(arg.redop, dst[e], src[e]);
+        }
+    }
+}
+
+void
+LowRuntime::finishRetired(const LaunchedTask &task)
+{
+    for (const LowArg &arg : task.args) {
+        auto it = stores_.find(arg.store);
+        diffuse_assert(it != stores_.end(),
+                       "retired task %s references dead store %llu",
+                       task.name.c_str(),
+                       (unsigned long long)arg.store);
+        StoreRec &r = it->second;
+        diffuse_assert(r.pendingUses > 0, "pending-use underflow on "
+                       "store %llu", (unsigned long long)arg.store);
+        r.pendingUses--;
+        if (r.zombie && r.pendingUses == 0) {
+            StoreId sid = arg.store;
+            zombies_--;
+            stores_.erase(it);
+            stream_.forgetStore(sid);
+        }
+    }
 }
 
 double
 LowRuntime::readScalarValue(StoreId id)
 {
+    stream_.waitStore(id);
     StoreRec &r = rec(id);
     if (mode_ != ExecutionMode::Real)
         return 0.0;

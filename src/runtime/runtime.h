@@ -10,10 +10,19 @@
  * partitions" the paper describes — and coherence/communication are
  * computed by intersecting those pieces.
  *
- * The runtime executes on a simulated machine (see machine.h). In Real
- * mode point tasks run for real against host allocations so numerics
- * are exact; in Simulated mode only the cost model advances. Both modes
- * account identical simulated time.
+ * Execution is asynchronous: submit() enqueues a task into a
+ * dependency-tracked TaskStream (RAW/WAR/WAW hazards derived from
+ * privileges and piece intersections) and returns an EventId
+ * immediately. Tasks retire out of submission order when dependencies
+ * allow; wait()/fence() force retirement, and host-side accessors
+ * (readScalarValue, dataF64/I32/I64) fence the affected store
+ * implicitly. In Real mode retired point tasks run against host
+ * allocations — sharded across a WorkerPool with a deterministic
+ * reduction merge, so numerics are bit-identical for any worker count.
+ * In Simulated mode only the cost model advances. Both modes account
+ * identical simulated time: the critical path through the task graph
+ * on per-processor timelines, not the serialized sum of task
+ * latencies.
  */
 
 #ifndef DIFFUSE_RUNTIME_RUNTIME_H
@@ -30,6 +39,7 @@
 #include "kernel/compiler.h"
 #include "kernel/exec.h"
 #include "runtime/machine.h"
+#include "runtime/task_stream.h"
 
 namespace diffuse {
 namespace rt {
@@ -40,13 +50,26 @@ enum class ExecutionMode { Real, Simulated };
 /** Counters accumulated by the runtime. */
 struct RuntimeStats
 {
-    double simTime = 0.0;        ///< total simulated seconds
+    /**
+     * Simulated seconds: critical path of the overlap-aware schedule
+     * (the makespan; independent tasks overlap on distinct
+     * processors, and dependence analysis overlaps with execution).
+     */
+    double simTime = 0.0;
+    /**
+     * Aggregate busy seconds summed over all processor timelines —
+     * the no-overlap upper bound. busyTime / simTime measures the
+     * parallelism the asynchronous pipeline exposed.
+     */
+    double busyTime = 0.0;
     double computeTime = 0.0;    ///< kernel-execution component
     double commTime = 0.0;       ///< point-to-point communication
     double collectiveTime = 0.0; ///< reductions/broadcast trees
     double overheadTime = 0.0;   ///< runtime analysis + launch overhead
     std::uint64_t indexTasks = 0;
     std::uint64_t pointTasks = 0;
+    /** Retired tasks whose point loop sharded across the pool. */
+    std::uint64_t tasksSharded = 0;
     double bytesHbm = 0.0;
     double bytesIntraNode = 0.0;
     double bytesInterNode = 0.0;
@@ -56,39 +79,6 @@ struct RuntimeStats
     double bytesMaterialized = 0.0;
 
     void reset() { *this = RuntimeStats(); }
-};
-
-/**
- * One store argument of a launched task, lowered to explicit pieces.
- */
-struct LowArg
-{
-    StoreId store = INVALID_STORE;
-    Privilege priv = Privilege::Read;
-    ReductionOp redop = ReductionOp::Sum;
-    /** Replicated access: every point sees the whole store. */
-    bool replicated = false;
-    /**
-     * Elements are addressed absolutely from the allocation origin
-     * (CSR values/column indices and gathered vectors).
-     */
-    bool absolute = false;
-    /** Identity of (partition, launch domain); 0 is reserved. */
-    std::uint64_t layoutKey = 0;
-    /** Sub-rectangle accessed by each launch-domain point. */
-    std::vector<Rect> pieces;
-    /** Optional per-point irregular element counts (CSR nnz). */
-    std::vector<coord_t> irregular;
-};
-
-/** A fully lowered index task ready for execution. */
-struct LaunchedTask
-{
-    const kir::CompiledKernel *kernel = nullptr;
-    int numPoints = 1;
-    std::vector<LowArg> args;
-    std::vector<double> scalars;
-    std::string name;
 };
 
 /** Pieces of an image partition, registered by libraries. */
@@ -106,12 +96,18 @@ struct ImageData
 };
 
 /**
- * The low-level runtime: stores, coherence, execution, statistics.
+ * The low-level runtime: stores, coherence, asynchronous execution,
+ * statistics.
  */
 class LowRuntime
 {
   public:
-    LowRuntime(const MachineConfig &machine, ExecutionMode mode);
+    /**
+     * @param workers Point-task worker threads; <= 0 reads
+     *        DIFFUSE_WORKERS from the environment (default 1).
+     */
+    LowRuntime(const MachineConfig &machine, ExecutionMode mode,
+               int workers = 0);
 
     /**
      * Create a store. In Real mode the allocation is host memory
@@ -120,14 +116,22 @@ class LowRuntime
     StoreId createStore(const Point &shape, DType dtype,
                         double init = 0.0);
 
-    /** Release a store's allocation. */
+    /**
+     * Release a store's allocation. Deferred while tasks referencing
+     * the store are still in flight; the allocation is freed when the
+     * last such task retires.
+     */
     void destroyStore(StoreId id);
 
     bool storeExists(StoreId id) const;
     Rect storeShape(StoreId id) const;
     DType storeDtype(StoreId id) const;
 
-    /** Raw data access (Real mode; host initialization and readback). */
+    /**
+     * Raw data access (Real mode; host initialization and readback).
+     * Fences the store: every in-flight task touching it retires
+     * first.
+     */
     double *dataF64(StoreId id);
     std::int32_t *dataI32(StoreId id);
     std::int64_t *dataI64(StoreId id);
@@ -142,19 +146,41 @@ class LowRuntime
     ImageId registerImage(ImageData data);
     const ImageData &image(ImageId id) const;
 
-    /** Execute one (possibly fused) index task. */
+    /**
+     * Submit one (possibly fused) index task to the asynchronous
+     * stream. Dependence analysis, the cost model and coherence
+     * updates run immediately; real execution is deferred until the
+     * returned event (or a fence) is waited on.
+     */
+    EventId submit(LaunchedTask task);
+
+    /** Block until `id` (and its dependencies) have retired. */
+    void wait(EventId id);
+
+    /** Retire every in-flight task. */
+    void fence();
+
+    /** True when `id` has retired. */
+    bool eventComplete(EventId id) const { return stream_.complete(id); }
+
+    /** Synchronous convenience: wait(submit(task)). */
     void execute(const LaunchedTask &task);
 
-    /** Host-side read of a scalar store's value (Real mode). */
+    /**
+     * Host-side read of a scalar store's value (Real mode). Fences
+     * the store implicitly.
+     */
     double readScalarValue(StoreId id);
 
     const MachineConfig &machine() const { return machine_; }
     ExecutionMode mode() const { return mode_; }
     RuntimeStats &stats() { return stats_; }
     const RuntimeStats &stats() const { return stats_; }
+    const StreamStats &streamStats() const { return stream_.stats(); }
+    int workers() const { return pool_.workers(); }
 
-    /** Live store count (leak checking in tests). */
-    std::size_t liveStores() const { return stores_.size(); }
+    /** Live store count, excluding zombies (leak checks in tests). */
+    std::size_t liveStores() const { return stores_.size() - zombies_; }
 
   private:
     struct StoreRec
@@ -169,6 +195,10 @@ class LowRuntime
         std::vector<Rect> lastWritePieces;
         /** Valid everywhere (post-init, post-reduction/broadcast). */
         bool replicatedValid = true;
+        /** In-flight tasks referencing this store. */
+        int pendingUses = 0;
+        /** Destroyed by the application while still in use. */
+        bool zombie = false;
     };
 
     StoreRec &rec(StoreId id);
@@ -186,13 +216,36 @@ class LowRuntime
                        std::vector<kir::BufferBinding> &out,
                        bool with_pointers);
 
+    /**
+     * May the point tasks run concurrently? False when a point's
+     * writes overlap another point's accesses (then the sequential
+     * point order is semantically relevant and is preserved).
+     */
+    bool pointsIndependent(const LaunchedTask &task) const;
+
+    /** Run one retired task against host memory (Real mode). */
+    void executeRetired(const LaunchedTask &task);
+
+    /** Drop per-task runtime state once a task has retired. */
+    void finishRetired(const LaunchedTask &task);
+
     MachineConfig machine_;
     ExecutionMode mode_;
     RuntimeStats stats_;
     std::unordered_map<StoreId, StoreRec> stores_;
+    /** Destroyed-but-in-flight stores still held in stores_. */
+    std::size_t zombies_ = 0;
     std::vector<ImageData> images_;
     StoreId nextStore_ = 1;
-    kir::Executor executor_;
+    kir::WorkerPool pool_;
+    /** Per-worker interpreter state (executors are not thread-safe). */
+    std::vector<kir::Executor> executors_;
+    std::vector<std::vector<kir::BufferBinding>> workerBindings_;
+    TaskStream stream_;
+    /** Stream clocks at the previous submit (stats are deltas so
+     * RuntimeStats::reset() keeps working). */
+    double lastCriticalPath_ = 0.0;
+    double lastBusyTime_ = 0.0;
 };
 
 } // namespace rt

@@ -1,0 +1,245 @@
+#include "task_stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace diffuse {
+namespace rt {
+
+TaskStream::TaskStream(const MachineConfig &machine,
+                       std::size_t max_pending)
+    : machine_(machine), maxPending_(max_pending),
+      procFree_(std::size_t(machine.totalGpus()), 0.0)
+{
+    diffuse_assert(maxPending_ >= 1, "stream must hold a task");
+}
+
+bool
+TaskStream::overlaps(bool a_replicated, const std::vector<Rect> &a_pieces,
+                     const AccessRec &b)
+{
+    if (a_replicated || b.replicated)
+        return true;
+    for (const Rect &ra : a_pieces) {
+        if (ra.empty())
+            continue;
+        for (const Rect &rb : b.pieces) {
+            if (!ra.intersect(rb).empty())
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+TaskStream::compactHistory(StoreHistory &h)
+{
+    auto prune = [this](std::vector<AccessRec> &recs, double &floor) {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < recs.size(); i++) {
+            AccessRec &r = recs[i];
+            if (pending_.count(r.id)) {
+                if (out != i)
+                    recs[out] = std::move(r);
+                out++;
+            } else {
+                floor = std::max(floor, r.finish);
+            }
+        }
+        recs.resize(out);
+    };
+    prune(h.writes, h.writeFinishFloor);
+    prune(h.reads, h.readFinishFloor);
+}
+
+EventId
+TaskStream::submit(LaunchedTask task, TaskTiming timing)
+{
+    diffuse_assert(int(timing.pointSeconds.size()) == task.numPoints,
+                   "timing for %zu of %d points",
+                   timing.pointSeconds.size(), task.numPoints);
+    EventId id = next_++;
+    stats_.submitted++;
+
+    // ---- Hazard detection against the access history ----------------
+    //
+    // Reads depend on the last overlapping write (RAW). Writes depend
+    // on the last overlapping write (WAW) and on every overlapping
+    // read since it (WAR). Reductions mutate their accumulator and are
+    // ordered like writes, which also keeps their merge order — and
+    // hence floating-point results — deterministic.
+    std::vector<EventId> deps;
+    double dep_finish = 0.0;
+    auto add_dep = [&](const AccessRec &a, std::uint64_t &kind) {
+        if (a.id == NO_EVENT || a.id == id)
+            return;
+        dep_finish = std::max(dep_finish, a.finish);
+        if (pending_.count(a.id)) {
+            if (std::find(deps.begin(), deps.end(), a.id) == deps.end())
+                deps.push_back(a.id);
+            kind++;
+        }
+    };
+    for (const LowArg &arg : task.args) {
+        auto it = history_.find(arg.store);
+        if (it == history_.end())
+            continue;
+        StoreHistory &h = it->second;
+        compactHistory(h); // bound growth; retired records → floors
+        bool mutates = privWrites(arg.priv) || privReduces(arg.priv);
+        if (privReads(arg.priv) || privReduces(arg.priv)) {
+            for (const AccessRec &w : h.writes) {
+                if (overlaps(arg.replicated, arg.pieces, w))
+                    add_dep(w, stats_.rawDeps);
+            }
+            dep_finish = std::max(dep_finish, h.writeFinishFloor);
+        }
+        if (mutates) {
+            if (!privReads(arg.priv)) {
+                for (const AccessRec &w : h.writes) {
+                    if (overlaps(arg.replicated, arg.pieces, w))
+                        add_dep(w, stats_.wawDeps);
+                }
+            }
+            for (const AccessRec &r : h.reads) {
+                if (overlaps(arg.replicated, arg.pieces, r))
+                    add_dep(r, stats_.warDeps);
+            }
+            dep_finish = std::max(dep_finish, h.writeFinishFloor);
+            dep_finish = std::max(dep_finish, h.readFinishFloor);
+        }
+    }
+
+    // ---- Overlap-aware simulated schedule ----------------------------
+    //
+    // Dependence analysis is serialized (one analysis engine, as in
+    // Legion's mapper/analysis pipeline) but overlaps with execution;
+    // each point task then occupies its processor's timeline.
+    analysisClock_ += timing.analysisSeconds;
+    double earliest = std::max(analysisClock_, dep_finish);
+    double max_point_finish = earliest;
+    int nprocs = machine_.totalGpus();
+    for (int p = 0; p < task.numPoints; p++) {
+        double dur = timing.pointSeconds[std::size_t(p)];
+        double &free_at = procFree_[std::size_t(p % nprocs)];
+        double start = std::max(earliest, free_at);
+        double fin = start + dur;
+        free_at = fin;
+        stats_.busyTime += dur;
+        max_point_finish = std::max(max_point_finish, fin);
+    }
+    double finish = max_point_finish + timing.collectiveSeconds;
+    stats_.busyTime += timing.collectiveSeconds;
+    stats_.criticalPathTime = std::max(stats_.criticalPathTime, finish);
+
+    // ---- Access-history update --------------------------------------
+    for (const LowArg &arg : task.args) {
+        StoreHistory &h = history_[arg.store];
+        AccessRec rec;
+        rec.id = id;
+        rec.finish = finish;
+        rec.replicated = arg.replicated;
+        rec.pieces = arg.pieces;
+        if (privWrites(arg.priv) || privReduces(arg.priv)) {
+            // A replicated (whole-store) write supersedes everything
+            // before it: later tasks ordering after it are transitively
+            // ordered after the superseded records.
+            if (arg.replicated) {
+                h.writes.clear();
+                h.reads.clear();
+                h.writeFinishFloor =
+                    std::max(h.writeFinishFloor, finish);
+                h.readFinishFloor = 0.0;
+            }
+            h.writes.push_back(std::move(rec));
+        } else {
+            h.reads.push_back(std::move(rec));
+        }
+    }
+
+    PendingTask pt;
+    pt.task = std::move(task);
+    pt.deps = std::move(deps);
+    pt.finish = finish;
+    pending_.emplace(id, std::move(pt));
+    stats_.maxPendingSeen =
+        std::max(stats_.maxPendingSeen, pending_.size());
+
+    // Bound the in-flight window: retire the oldest task when full.
+    while (pending_.size() > maxPending_)
+        retireOne(pending_.begin()->first);
+    return id;
+}
+
+void
+TaskStream::retireOne(EventId id)
+{
+    auto it = pending_.find(id);
+    diffuse_assert(it != pending_.end(), "retire of unknown event %llu",
+                   (unsigned long long)id);
+    // Retire dependencies first, in submission order (EventIds are a
+    // topological order of the hazard DAG).
+    std::vector<EventId> deps = it->second.deps;
+    std::sort(deps.begin(), deps.end());
+    for (EventId d : deps) {
+        if (pending_.count(d))
+            retireOne(d);
+    }
+    it = pending_.find(id);
+    diffuse_assert(it != pending_.end(), "event %llu retired during its "
+                   "own dependency drain", (unsigned long long)id);
+    if (!pending_.empty() && pending_.begin()->first < id)
+        stats_.retiredOutOfOrder++;
+    // Move the task out so callbacks may submit follow-on work.
+    LaunchedTask task = std::move(it->second.task);
+    pending_.erase(it);
+    stats_.retired++;
+    if (executeFn_)
+        executeFn_(task);
+    if (retireFn_)
+        retireFn_(task);
+}
+
+void
+TaskStream::wait(EventId id)
+{
+    if (id == NO_EVENT || !pending_.count(id))
+        return;
+    retireOne(id);
+}
+
+void
+TaskStream::waitStore(StoreId id)
+{
+    // Collect first: retiring may cascade into dependency retirement.
+    std::vector<EventId> users;
+    for (const auto &[ev, pt] : pending_) {
+        for (const LowArg &arg : pt.task.args) {
+            if (arg.store == id) {
+                users.push_back(ev);
+                break;
+            }
+        }
+    }
+    for (EventId ev : users)
+        wait(ev);
+}
+
+void
+TaskStream::fence()
+{
+    stats_.fences++;
+    while (!pending_.empty())
+        retireOne(pending_.begin()->first);
+}
+
+bool
+TaskStream::complete(EventId id) const
+{
+    // Never-issued ids (including NO_EVENT) are trivially complete.
+    return pending_.count(id) == 0;
+}
+
+} // namespace rt
+} // namespace diffuse

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Asynchronous task stream with store-level dependence tracking.
+ *
+ * legion-mini's analogue of Legion's dynamic dependence analysis and
+ * deferred-execution pipeline: launched tasks are *submitted* rather
+ * than executed, the stream derives RAW/WAR/WAW hazards from the
+ * privileges and piece rectangles of each task's store arguments, and
+ * tasks retire (execute, in Real mode) only when their dependencies
+ * have retired — possibly out of submission order when independent
+ * work allows it.
+ *
+ * The stream also owns the overlap-aware simulated-time schedule: each
+ * point task is placed on a per-processor timeline no earlier than its
+ * dependencies' finish times and the (serialized) dependence-analysis
+ * clock, so simulated time is the critical path through the task graph
+ * rather than the sum of every task's latency.
+ */
+
+#ifndef DIFFUSE_RUNTIME_TASK_STREAM_H
+#define DIFFUSE_RUNTIME_TASK_STREAM_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/types.h"
+#include "runtime/machine.h"
+
+namespace diffuse {
+namespace kir {
+struct CompiledKernel;
+} // namespace kir
+
+namespace rt {
+
+/** Completion event of a submitted task. */
+using EventId = std::uint64_t;
+
+/** Reserved event: already complete, depends on nothing. */
+constexpr EventId NO_EVENT = 0;
+
+/**
+ * One store argument of a launched task, lowered to explicit pieces.
+ */
+struct LowArg
+{
+    StoreId store = INVALID_STORE;
+    Privilege priv = Privilege::Read;
+    ReductionOp redop = ReductionOp::Sum;
+    /** Replicated access: every point sees the whole store. */
+    bool replicated = false;
+    /**
+     * Elements are addressed absolutely from the allocation origin
+     * (CSR values/column indices and gathered vectors).
+     */
+    bool absolute = false;
+    /** Identity of (partition, launch domain); 0 is reserved. */
+    std::uint64_t layoutKey = 0;
+    /** Sub-rectangle accessed by each launch-domain point. */
+    std::vector<Rect> pieces;
+    /** Optional per-point irregular element counts (CSR nnz). */
+    std::vector<coord_t> irregular;
+};
+
+/** A fully lowered index task ready for submission. */
+struct LaunchedTask
+{
+    std::shared_ptr<const kir::CompiledKernel> kernel;
+    int numPoints = 1;
+    std::vector<LowArg> args;
+    std::vector<double> scalars;
+    std::string name;
+    /**
+     * Point tasks may run concurrently: no replicated write, and no
+     * piece of any point overlaps another point's written pieces.
+     * Computed by the runtime at submission.
+     */
+    bool parallelSafe = false;
+};
+
+/** Cost-model inputs of one submitted task (computed at submission). */
+struct TaskTiming
+{
+    /** Per-point seconds: communication + launch + compute. */
+    std::vector<double> pointSeconds;
+    /** Reduction collective appended after the slowest point. */
+    double collectiveSeconds = 0.0;
+    /** Serialized dynamic dependence-analysis seconds. */
+    double analysisSeconds = 0.0;
+};
+
+/** Counters and clocks maintained by the stream. */
+struct StreamStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t retired = 0;
+    /** Tasks retired while an earlier submission was still pending. */
+    std::uint64_t retiredOutOfOrder = 0;
+    std::uint64_t fences = 0;
+    /** Dependence edges recorded, by hazard kind. */
+    std::uint64_t rawDeps = 0;
+    std::uint64_t warDeps = 0;
+    std::uint64_t wawDeps = 0;
+    /** Makespan of the overlap-aware schedule (simulated seconds). */
+    double criticalPathTime = 0.0;
+    /** Aggregate busy seconds across all processor timelines. */
+    double busyTime = 0.0;
+    std::size_t maxPendingSeen = 0;
+};
+
+/**
+ * Dependency-tracked stream of launched tasks.
+ *
+ * Ownership of real execution stays with the runtime: the stream calls
+ * `executeFn` exactly once per task, in an order that respects every
+ * recorded hazard, when the task retires.
+ */
+class TaskStream
+{
+  public:
+    using ExecuteFn = std::function<void(const LaunchedTask &)>;
+
+    TaskStream(const MachineConfig &machine,
+               std::size_t max_pending = 256);
+
+    /** Called when a task retires; runs the task in Real mode. */
+    void setExecuteFn(ExecuteFn fn) { executeFn_ = std::move(fn); }
+
+    /** Called after execution to release per-task runtime state. */
+    void setRetireFn(ExecuteFn fn) { retireFn_ = std::move(fn); }
+
+    /**
+     * Submit a task: record hazards against in-flight tasks, extend
+     * the simulated schedule, and queue the task for deferred
+     * execution. Returns the task's completion event.
+     */
+    EventId submit(LaunchedTask task, TaskTiming timing);
+
+    /** Retire `id` and (transitively) everything it depends on. */
+    void wait(EventId id);
+
+    /** Retire every pending task touching store `id`. */
+    void waitStore(StoreId id);
+
+    /** Retire all pending tasks, in submission order. */
+    void fence();
+
+    /** True when `id` has retired (or was never issued). */
+    bool complete(EventId id) const;
+
+    /** Number of submitted-but-unretired tasks. */
+    std::size_t pending() const { return pending_.size(); }
+
+    /** Drop dependence history of a destroyed store. */
+    void forgetStore(StoreId id) { history_.erase(id); }
+
+    const StreamStats &stats() const { return stats_; }
+
+  private:
+    /** One access to a store, remembered for hazard detection. */
+    struct AccessRec
+    {
+        EventId id = NO_EVENT;
+        double finish = 0.0;
+        bool replicated = false;
+        std::vector<Rect> pieces;
+    };
+
+    /**
+     * Remembered accesses to one store. Writes are kept as a list —
+     * a partial write supersedes only what it overlaps, so earlier
+     * writes of other regions stay visible to hazard detection.
+     * Retired records are pruned (they can never be dependencies);
+     * their finish times fold into per-store floors so the simulated
+     * schedule still orders later conflicting accesses after them.
+     */
+    struct StoreHistory
+    {
+        std::vector<AccessRec> writes;
+        std::vector<AccessRec> reads;
+        double writeFinishFloor = 0.0;
+        double readFinishFloor = 0.0;
+    };
+
+    /** Drop retired records, folding them into the floors. */
+    void compactHistory(StoreHistory &h);
+
+    struct PendingTask
+    {
+        LaunchedTask task;
+        /** Unretired tasks this task must run after. */
+        std::vector<EventId> deps;
+        double finish = 0.0;
+    };
+
+    /** Any-pair piece overlap between two accesses of one store. */
+    static bool overlaps(bool a_replicated,
+                         const std::vector<Rect> &a_pieces,
+                         const AccessRec &b);
+
+    /** Execute and retire exactly one pending task. */
+    void retireOne(EventId id);
+
+    MachineConfig machine_;
+    std::size_t maxPending_;
+    ExecuteFn executeFn_;
+    ExecuteFn retireFn_;
+
+    /** Ordered by EventId == submission order (a topological order). */
+    std::map<EventId, PendingTask> pending_;
+    std::unordered_map<StoreId, StoreHistory> history_;
+    EventId next_ = 1;
+
+    /** Simulated schedule state. */
+    std::vector<double> procFree_;
+    double analysisClock_ = 0.0;
+
+    StreamStats stats_;
+};
+
+} // namespace rt
+} // namespace diffuse
+
+#endif // DIFFUSE_RUNTIME_TASK_STREAM_H
