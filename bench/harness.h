@@ -14,8 +14,10 @@
 #define DIFFUSE_BENCH_HARNESS_H
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -145,6 +147,130 @@ geoMean(const std::vector<double> &values)
     for (double v : values)
         log_sum += std::log(v);
     return std::exp(log_sum / double(values.size()));
+}
+
+// ---------------------------------------------------------------------
+// Wall-clock measurement and machine-readable output
+// ---------------------------------------------------------------------
+
+/**
+ * Smoke mode (DIFFUSE_BENCH_SMOKE=1): benchmarks skip the simulated
+ * weak-scaling sweeps and run only their small Real-mode wall-clock
+ * sections, so they finish in CI time (the `bench_smoke` ctest
+ * targets set this).
+ */
+inline bool
+smokeMode()
+{
+    return std::getenv("DIFFUSE_BENCH_SMOKE") != nullptr;
+}
+
+/**
+ * Scoped DIFFUSE_SCALAR_EXEC override: the oracle toggle. Lets one
+ * binary measure the scalar interpreter against the vector executor
+ * on the very same build.
+ */
+class ScalarExecGuard
+{
+  public:
+    explicit ScalarExecGuard(bool scalar)
+    {
+        if (scalar)
+            setenv("DIFFUSE_SCALAR_EXEC", "1", 1);
+        else
+            unsetenv("DIFFUSE_SCALAR_EXEC");
+    }
+    ~ScalarExecGuard() { unsetenv("DIFFUSE_SCALAR_EXEC"); }
+    ScalarExecGuard(const ScalarExecGuard &) = delete;
+    ScalarExecGuard &operator=(const ScalarExecGuard &) = delete;
+};
+
+/** One wall-clock measurement series, ready for BENCH_*.json. */
+struct WallMetric
+{
+    std::string label;
+    int reps = 0;
+    double medianSeconds = 0.0;
+    double minSeconds = 0.0;
+    double elementsPerSecond = 0.0;
+    double bytesPerSecond = 0.0;
+};
+
+/**
+ * Time `iter` for `reps` repetitions and derive element/byte rates
+ * from the median (min also reported: the least-disturbed rep).
+ */
+template <typename Fn>
+inline WallMetric
+measureWall(const std::string &label, int reps,
+            double elements_per_iter, double bytes_per_iter, Fn &&iter)
+{
+    using clock = std::chrono::steady_clock;
+    std::vector<double> times;
+    times.reserve(std::size_t(reps));
+    for (int r = 0; r < reps; r++) {
+        auto t0 = clock::now();
+        iter();
+        auto t1 = clock::now();
+        times.push_back(std::chrono::duration<double>(t1 - t0).count());
+    }
+    std::sort(times.begin(), times.end());
+    WallMetric m;
+    m.label = label;
+    m.reps = reps;
+    m.medianSeconds = times[times.size() / 2];
+    m.minSeconds = times.front();
+    m.elementsPerSecond = elements_per_iter / m.medianSeconds;
+    m.bytesPerSecond = bytes_per_iter / m.medianSeconds;
+    return m;
+}
+
+/**
+ * Emit BENCH_<name>.json in the working directory so sweeps over
+ * commits/flags can be collected mechanically.
+ */
+inline void
+writeBenchJson(const std::string &name,
+               const std::vector<WallMetric> &metrics)
+{
+    std::string path = "BENCH_" + name + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"metrics\": [\n",
+                 name.c_str());
+    for (std::size_t i = 0; i < metrics.size(); i++) {
+        const WallMetric &m = metrics[i];
+        std::fprintf(f,
+                     "    {\"label\": \"%s\", \"reps\": %d, "
+                     "\"median_s\": %.9g, \"min_s\": %.9g, "
+                     "\"elements_per_s\": %.9g, "
+                     "\"bytes_per_s\": %.9g}%s\n",
+                     m.label.c_str(), m.reps, m.medianSeconds,
+                     m.minSeconds, m.elementsPerSecond, m.bytesPerSecond,
+                     i + 1 < metrics.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+}
+
+/** Print a WallMetric row (pairs with printWallHeader). */
+inline void
+printWallHeader()
+{
+    std::printf("%-22s %12s %12s %14s %14s\n", "series", "median s",
+                "min s", "elems/s", "bytes/s");
+}
+
+inline void
+printWallRow(const WallMetric &m)
+{
+    std::printf("%-22s %12.6f %12.6f %14.4g %14.4g\n", m.label.c_str(),
+                m.medianSeconds, m.minSeconds, m.elementsPerSecond,
+                m.bytesPerSecond);
 }
 
 /** Run a fused-vs-unfused weak-scaling sweep of an app factory. */

@@ -81,6 +81,8 @@ Memoizer::lookup(const std::string &key)
 void
 Memoizer::insert(const std::string &key, CachedGroup group)
 {
+    if (group.kernel != nullptr && group.kernel->plan != nullptr)
+        stats_.plansLowered++;
     cache_.emplace(key, std::move(group));
     stats_.entries = cache_.size();
 }

@@ -62,6 +62,13 @@ class Memoizer
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::size_t entries = 0;
+        /**
+         * Executable plans lowered on behalf of this cache: one per
+         * inserted group carrying a compiled kernel. A hit reuses the
+         * cached kernel's plan pointer, so this stays constant in
+         * steady state (no re-lowering).
+         */
+        std::uint64_t plansLowered = 0;
     };
 
     /**

@@ -1,6 +1,8 @@
 #include "compiler.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 namespace diffuse {
 namespace kir {
@@ -18,6 +20,9 @@ JitCompiler::finish(KernelFunction fn, double wall_start)
 {
     auto out = std::make_shared<CompiledKernel>();
     out->pipeline = optimize(fn);
+    // Lower the strip-mined executable plan as part of compilation so
+    // the memoizer amortizes it together with codegen (paper §5.2).
+    out->plan = std::make_shared<const ExecutablePlan>(lowerPlan(fn));
     out->cost.measuredSeconds = wallSeconds() - wall_start;
     out->cost.modeledSeconds =
         out->cost.measuredSeconds +
@@ -25,6 +30,21 @@ JitCompiler::finish(KernelFunction fn, double wall_start)
     out->fn = std::move(fn);
 
     stats_.kernelsCompiled++;
+    stats_.plansLowered++;
+    const char *dbg = std::getenv("DIFFUSE_DEBUG_COMPILE");
+    if (dbg != nullptr) {
+        std::size_t tape = 0;
+        for (const NestPlan &np : out->plan->nests)
+            tape += np.dense.tape.size();
+        std::fprintf(stderr,
+                     "[compile] %s: %zu instrs -> %zu tape ops, %zu "
+                     "nests, %d live locals, %d slots\n",
+                     out->fn.name.c_str(), out->fn.instructionCount(),
+                     tape, out->fn.nests.size(),
+                     out->fn.liveLocalCount(), out->plan->maxRegCount);
+        if (dbg[0] == '2')
+            std::fprintf(stderr, "%s", out->fn.dump().c_str());
+    }
     stats_.measuredSeconds += out->cost.measuredSeconds;
     stats_.modeledSeconds += out->cost.modeledSeconds;
     stats_.loopsFused += out->pipeline.loopsFused;

@@ -18,22 +18,32 @@
 #include "kernel/exec.h"
 #include "kernel/ir.h"
 #include "kernel/passes.h"
+#include "kernel/plan.h"
 
 namespace diffuse {
 namespace kir {
 
-/** An executable kernel plus its compilation record. */
+/**
+ * An executable kernel plus its compilation record. The executable
+ * plan (strip-mined vector tapes, see plan.h) is lowered once here and
+ * shared by every instantiation: a memoized group hit reuses the same
+ * plan pointer, so neither codegen nor plan lowering re-runs.
+ */
 struct CompiledKernel
 {
     KernelFunction fn;
     PipelineStats pipeline;
     CompileCost cost;
+    std::shared_ptr<const ExecutablePlan> plan;
 };
 
 /** Aggregate compilation statistics for a whole run. */
 struct CompilerStats
 {
     int kernelsCompiled = 0;
+    /** Executable plans lowered (== kernels compiled; memo hits skip
+     * both). */
+    int plansLowered = 0;
     double measuredSeconds = 0.0;
     double modeledSeconds = 0.0;
     int loopsFused = 0;

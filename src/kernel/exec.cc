@@ -1,9 +1,13 @@
 #include "exec.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <unordered_set>
 
+#include "common/fastmath.h"
 #include "common/logging.h"
+#include "kernel/compiler.h"
 
 namespace diffuse {
 namespace kir {
@@ -52,16 +56,16 @@ resolveExtents(const KernelFunction &fn, int buf,
 {
     Extents out;
     if (buf < fn.numArgs) {
-        const BufferBinding &b = ext_bindings[buf];
+        const BufferBinding &b = ext_bindings[std::size_t(buf)];
         out.dims = b.dims;
         out.e[0] = b.extent[0];
         out.e[1] = b.extent[1];
         return out;
     }
-    int want = fn.buffers[buf].shapeClass;
+    int want = fn.buffers[std::size_t(buf)].shapeClass;
     for (int a = 0; a < fn.numArgs; a++) {
-        if (fn.buffers[a].shapeClass == want) {
-            const BufferBinding &b = ext_bindings[a];
+        if (fn.buffers[std::size_t(a)].shapeClass == want) {
+            const BufferBinding &b = ext_bindings[std::size_t(a)];
             out.dims = b.dims;
             out.e[0] = b.extent[0];
             out.e[1] = b.extent[1];
@@ -73,7 +77,101 @@ resolveExtents(const KernelFunction &fn, int buf,
                   want, buf, fn.name.c_str());
 }
 
+/**
+ * Build the full binding table (external args, then locals) with live
+ * local buffers carved out of `arena`. The arena only grows and its
+ * used prefix is re-zeroed per call, so steady state allocates
+ * nothing — this replaces the fresh per-invocation vectors the
+ * interpreter used to heap-allocate for every point task.
+ */
+void
+bindLocalBuffers(const KernelFunction &fn,
+                 std::span<const BufferBinding> ext,
+                 std::vector<BufferBinding> &all,
+                 std::vector<double> &arena)
+{
+    diffuse_assert(int(ext.size()) >= fn.numArgs,
+                   "executor: %zu bindings for %d args of %s",
+                   ext.size(), fn.numArgs, fn.name.c_str());
+    all.assign(ext.begin(), ext.begin() + fn.numArgs);
+    all.resize(fn.buffers.size());
+
+    std::size_t total = 0;
+    for (std::size_t b = std::size_t(fn.numArgs); b < fn.buffers.size();
+         b++) {
+        const BufferInfo &info = fn.buffers[b];
+        diffuse_assert(info.isLocal, "non-local buffer %zu beyond args",
+                       b);
+        if (info.eliminated)
+            continue;
+        total += std::size_t(resolveExtents(fn, int(b), ext).volume());
+    }
+    if (arena.size() < total)
+        arena.resize(total);
+    std::fill_n(arena.data(), total, 0.0);
+
+    std::size_t off = 0;
+    for (std::size_t b = std::size_t(fn.numArgs); b < fn.buffers.size();
+         b++) {
+        const BufferInfo &info = fn.buffers[b];
+        if (info.eliminated)
+            continue;
+        Extents e = resolveExtents(fn, int(b), ext);
+        BufferBinding bind;
+        bind.dims = e.dims;
+        bind.extent[0] = e.e[0];
+        bind.extent[1] = e.e[1];
+        bind.base = arena.data() + off;
+        off += std::size_t(e.volume());
+        if (bind.dims == 2) {
+            bind.stride[0] = bind.extent[1];
+            bind.stride[1] = 1;
+        } else {
+            bind.stride[0] = 1;
+        }
+        all[b] = bind;
+    }
+}
+
+/** Cost of a Gemv nest (shared by both profileCost overloads). */
+TaskCost
+gemvCost(const KernelFunction &fn, const LoopNest &nest,
+         std::span<const BufferBinding> bindings)
+{
+    Extents a = resolveExtents(fn, nest.gemvA, bindings);
+    coord_t rows = a.e[0];
+    coord_t cols = a.e[1];
+    TaskCost c;
+    c.elements = rows * cols;
+    c.bytes = double(rows * cols + cols + rows) * 8.0;
+    c.wflops = 2.0 * double(rows) * double(cols);
+    return c;
+}
+
+/** Cost of a Csr nest (shared by both profileCost overloads). */
+TaskCost
+csrCost(const KernelFunction &fn, const LoopNest &nest,
+        std::span<const BufferBinding> bindings)
+{
+    const BufferBinding &vals = bindings[std::size_t(nest.csrVals)];
+    const BufferBinding &colind = bindings[std::size_t(nest.csrColind)];
+    Extents y = resolveExtents(fn, nest.csrY, bindings);
+    coord_t nnz = vals.irregular >= 0 ? vals.irregular : vals.volume();
+    coord_t rows = y.e[0];
+    double idx_bytes = double(dtypeSize(colind.dtype));
+    TaskCost c;
+    c.elements = nnz;
+    c.bytes = double(nnz) * (8.0 + idx_bytes + 8.0) +
+              double(rows + 1) * 8.0 + double(rows) * 8.0;
+    c.wflops = 2.0 * double(nnz);
+    return c;
+}
+
 } // namespace
+
+// ---------------------------------------------------------------------
+// Cost profiling
+// ---------------------------------------------------------------------
 
 TaskCost
 profileCost(const KernelFunction &fn,
@@ -82,30 +180,11 @@ profileCost(const KernelFunction &fn,
     TaskCost total;
     for (const LoopNest &nest : fn.nests) {
         if (nest.kind == NestKind::Gemv) {
-            Extents a = resolveExtents(fn, nest.gemvA, bindings);
-            coord_t rows = a.e[0];
-            coord_t cols = a.e[1];
-            TaskCost c;
-            c.elements = rows * cols;
-            c.bytes = double(rows * cols + cols + rows) * 8.0;
-            c.wflops = 2.0 * double(rows) * double(cols);
-            total += c;
+            total += gemvCost(fn, nest, bindings);
             continue;
         }
         if (nest.kind == NestKind::Csr) {
-            const BufferBinding &vals = bindings[nest.csrVals];
-            const BufferBinding &colind = bindings[nest.csrColind];
-            Extents y = resolveExtents(fn, nest.csrY, bindings);
-            coord_t nnz = vals.irregular >= 0 ? vals.irregular
-                                              : vals.volume();
-            coord_t rows = y.e[0];
-            double idx_bytes = double(dtypeSize(colind.dtype));
-            TaskCost c;
-            c.elements = nnz;
-            c.bytes = double(nnz) * (8.0 + idx_bytes + 8.0) +
-                      double(rows + 1) * 8.0 + double(rows) * 8.0;
-            c.wflops = 2.0 * double(nnz);
-            total += c;
+            total += csrCost(fn, nest, bindings);
             continue;
         }
         // Dense nest: traffic = distinct non-broadcast buffers touched;
@@ -125,10 +204,12 @@ profileCost(const KernelFunction &fn,
         for (int b : loaded) {
             Extents e = resolveExtents(fn, b, bindings);
             if (e.volume() > 1)
-                bytes_per_elem += double(dtypeSize(fn.buffers[b].dtype));
+                bytes_per_elem +=
+                    double(dtypeSize(fn.buffers[std::size_t(b)].dtype));
         }
         for (int b : stored)
-            bytes_per_elem += double(dtypeSize(fn.buffers[b].dtype));
+            bytes_per_elem +=
+                double(dtypeSize(fn.buffers[std::size_t(b)].dtype));
         flops_per_elem += double(nest.reductions.size());
         TaskCost c;
         c.elements = elems;
@@ -139,37 +220,535 @@ profileCost(const KernelFunction &fn,
     return total;
 }
 
+TaskCost
+profileCost(const CompiledKernel &kernel,
+            std::span<const BufferBinding> bindings)
+{
+    const KernelFunction &fn = kernel.fn;
+    if (kernel.plan == nullptr)
+        return profileCost(fn, bindings);
+    const ExecutablePlan &plan = *kernel.plan;
+    diffuse_assert(plan.nests.size() == fn.nests.size(),
+                   "plan/function nest mismatch in %s", fn.name.c_str());
+
+    TaskCost total;
+    for (std::size_t n = 0; n < fn.nests.size(); n++) {
+        const LoopNest &nest = fn.nests[n];
+        if (nest.kind == NestKind::Gemv) {
+            total += gemvCost(fn, nest, bindings);
+            continue;
+        }
+        if (nest.kind == NestKind::Csr) {
+            total += csrCost(fn, nest, bindings);
+            continue;
+        }
+        // Dense: flops and distinct-buffer lists were recorded at plan
+        // lowering; only the extents are resolved here.
+        const DensePlan &dp = plan.nests[n].dense;
+        Extents dom = resolveExtents(fn, nest.domainBuf, bindings);
+        coord_t elems = dom.volume();
+        double bytes_per_elem = 0.0;
+        for (int b : dp.loadBufs) {
+            if (resolveExtents(fn, b, bindings).volume() > 1)
+                bytes_per_elem +=
+                    double(dtypeSize(fn.buffers[std::size_t(b)].dtype));
+        }
+        for (int b : dp.storeBufs)
+            bytes_per_elem +=
+                double(dtypeSize(fn.buffers[std::size_t(b)].dtype));
+        TaskCost c;
+        c.elements = elems;
+        c.bytes = bytes_per_elem * double(elems);
+        c.wflops = dp.flopsPerElem * double(elems);
+        total += c;
+    }
+    return total;
+}
+
+// ---------------------------------------------------------------------
+// PointContext: per-invocation resolution of a plan against bindings
+// ---------------------------------------------------------------------
+
+void
+PointContext::bind(const KernelFunction &fn, const ExecutablePlan &plan,
+                   std::span<const BufferBinding> bindings,
+                   std::span<const double> scalars)
+{
+    fn_ = &fn;
+    plan_ = &plan;
+    scalars_ = scalars;
+    bindLocalBuffers(fn, bindings, all_, arena_);
+
+    nests_.resize(plan.nests.size());
+    for (std::size_t n = 0; n < plan.nests.size(); n++) {
+        const NestPlan &np = plan.nests[n];
+        ResolvedNest &rn = nests_[n];
+        rn.scalarFallback = false;
+        if (np.kind == NestKind::Gemv) {
+            rn.rows = all_[std::size_t(fn.nests[n].gemvA)].extent[0];
+            rn.stripParallel = np.rowParallel;
+            continue;
+        }
+        if (np.kind == NestKind::Csr) {
+            rn.rows = all_[std::size_t(fn.nests[n].csrY)].extent[0];
+            rn.stripParallel = np.rowParallel;
+            continue;
+        }
+
+        const DensePlan &dp = np.dense;
+        Extents dom = resolveExtents(fn, np.domainBuf,
+                                     std::span<const BufferBinding>(
+                                         all_.data(),
+                                         std::size_t(fn.numArgs)));
+        rn.outer = dom.dims == 2 ? dom.e[0] : 1;
+        rn.inner = dom.dims == 2 ? dom.e[1] : dom.e[0];
+        int w = plan.stripWidth;
+        rn.stripsPerRow =
+            rn.inner > 0 ? (rn.inner + w - 1) / coord_t(w) : 0;
+        rn.strips = rn.outer > 0 ? rn.outer * rn.stripsPerRow : 0;
+
+        rn.accesses.resize(dp.accesses.size());
+        for (std::size_t s = 0; s < dp.accesses.size(); s++) {
+            const BufferBinding &b =
+                all_[std::size_t(dp.accesses[s].buf)];
+            ResolvedAccess &a = rn.accesses[s];
+            a.base = static_cast<double *>(b.base);
+            if (dom.dims == 2) {
+                a.rowStride = b.extent[0] == 1 ? 0 : b.stride[0];
+                a.step = b.dims == 2 && b.extent[1] != 1 ? b.stride[1]
+                                                         : 0;
+            } else {
+                a.rowStride = 0;
+                a.step = b.extent[0] == 1 ? 0 : b.stride[0];
+            }
+            a.kind = a.step == 1   ? AccessKind::Contiguous
+                     : a.step == 0 ? AccessKind::Broadcast
+                                   : AccessKind::Strided;
+            // A broadcast *store* target makes element order
+            // observable (every iteration writes the same address):
+            // preserve the interleaved scalar semantics.
+            if (dp.accesses[s].isStore &&
+                ((a.step == 0 && rn.inner > 1) ||
+                 (dom.dims == 2 && a.rowStride == 0 && rn.outer > 1)))
+                rn.scalarFallback = true;
+        }
+        // Alias hazards recorded at plan time resolve here: identical
+        // views are same-index accesses (safe); shifted views fall
+        // back to the oracle for this nest instance.
+        for (const auto &[s, t] : dp.aliasHazards) {
+            const ResolvedAccess &a = rn.accesses[std::size_t(s)];
+            const ResolvedAccess &b = rn.accesses[std::size_t(t)];
+            if (a.base != b.base || a.rowStride != b.rowStride ||
+                a.step != b.step)
+                rn.scalarFallback = true;
+        }
+        rn.stripParallel = !rn.scalarFallback;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Executor: vector engine
+// ---------------------------------------------------------------------
+
+bool
+Executor::scalarForced()
+{
+    const char *env = std::getenv("DIFFUSE_SCALAR_EXEC");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+void
+Executor::ensureVecRegs(const ExecutablePlan &plan)
+{
+    std::size_t need = std::size_t(plan.maxRegCount) *
+                       std::size_t(plan.stripWidth);
+    if (vregs_.size() < need)
+        vregs_.resize(need);
+}
+
+void
+Executor::splatInvariants(const DensePlan &dp, int width,
+                          std::span<const double> scalars)
+{
+    for (const VecInstr &ins : dp.invariants) {
+        double v = ins.scalar >= 0 ? scalars[std::size_t(ins.scalar)]
+                                   : ins.imm;
+        double *d = vregs_.data() + std::size_t(ins.dst) * width;
+        for (int k = 0; k < width; k++)
+            d[k] = v;
+    }
+}
+
+void
+Executor::execStrip(const DensePlan &dp, const ResolvedNest &rn,
+                    coord_t strip, int width,
+                    std::span<const double> scalars, double *partials)
+{
+    coord_t row = strip / rn.stripsPerRow;
+    coord_t col0 = (strip % rn.stripsPerRow) * width;
+    int len = int(std::min<coord_t>(width, rn.inner - col0));
+    double *vr = vregs_.data();
+    std::size_t w = std::size_t(width);
+
+    for (const VecInstr &ins : dp.tape) {
+        switch (ins.op) {
+          case VecOp::Load: {
+            const ResolvedAccess &a =
+                rn.accesses[std::size_t(ins.access)];
+            const double *p =
+                a.base + row * a.rowStride + col0 * a.step;
+            double *__restrict d = vr + std::size_t(ins.dst) * w;
+            if (a.step == 1) {
+                for (int k = 0; k < len; k++)
+                    d[k] = p[k];
+            } else if (a.step == 0) {
+                double v = *p;
+                for (int k = 0; k < len; k++)
+                    d[k] = v;
+            } else {
+                coord_t s = a.step;
+                for (int k = 0; k < len; k++)
+                    d[k] = p[k * s];
+            }
+            break;
+          }
+          case VecOp::Store: {
+            const ResolvedAccess &a =
+                rn.accesses[std::size_t(ins.access)];
+            double *p = a.base + row * a.rowStride + col0 * a.step;
+            const double *__restrict s = vr + std::size_t(ins.a) * w;
+            if (a.step == 1) {
+                for (int k = 0; k < len; k++)
+                    p[k] = s[k];
+            } else if (a.step == 0) {
+                // Excluded by scalarFallback when inner > 1; a
+                // single-iteration broadcast store is a plain write.
+                *p = s[len - 1];
+            } else {
+                coord_t st = a.step;
+                for (int k = 0; k < len; k++)
+                    p[k * st] = s[k];
+            }
+            break;
+          }
+          case VecOp::Splat:
+            // Hoisted into the invariant prefix at plan time.
+            break;
+#define DIFFUSE_KV                                                      \
+    double kv = ins.scalar >= 0 ? scalars[std::size_t(ins.scalar)]      \
+                                : ins.imm
+#define DIFFUSE_VEC_UNOP(EXPR)                                          \
+    {                                                                   \
+        double *__restrict d = vr + std::size_t(ins.dst) * w;           \
+        const double *__restrict va = vr + std::size_t(ins.a) * w;      \
+        for (int k = 0; k < len; k++)                                   \
+            d[k] = (EXPR);                                              \
+    }                                                                   \
+    break
+#define DIFFUSE_VEC_KOP(EXPR)                                           \
+    {                                                                   \
+        DIFFUSE_KV;                                                     \
+        double *__restrict d = vr + std::size_t(ins.dst) * w;           \
+        const double *__restrict va = vr + std::size_t(ins.a) * w;      \
+        for (int k = 0; k < len; k++)                                   \
+            d[k] = (EXPR);                                              \
+    }                                                                   \
+    break
+#define DIFFUSE_VEC_BINOP(EXPR)                                         \
+    {                                                                   \
+        double *__restrict d = vr + std::size_t(ins.dst) * w;           \
+        const double *__restrict va = vr + std::size_t(ins.a) * w;      \
+        const double *__restrict vb = vr + std::size_t(ins.b) * w;      \
+        for (int k = 0; k < len; k++)                                   \
+            d[k] = (EXPR);                                              \
+    }                                                                   \
+    break
+// Fused triads: the product is a separate statement, so both IEEE
+// rounding steps survive (no FP contraction across statements) and
+// results match the unfused pair bitwise.
+#define DIFFUSE_VEC_TRIOP(EXPR)                                         \
+    {                                                                   \
+        double *__restrict d = vr + std::size_t(ins.dst) * w;           \
+        const double *__restrict va = vr + std::size_t(ins.a) * w;      \
+        const double *__restrict vb = vr + std::size_t(ins.b) * w;      \
+        const double *__restrict vc = vr + std::size_t(ins.c) * w;      \
+        for (int k = 0; k < len; k++) {                                 \
+            double t = va[k] * vb[k];                                   \
+            d[k] = (EXPR);                                              \
+        }                                                               \
+    }                                                                   \
+    break
+#define DIFFUSE_VEC_TRIKOP(EXPR)                                        \
+    {                                                                   \
+        DIFFUSE_KV;                                                     \
+        double *__restrict d = vr + std::size_t(ins.dst) * w;           \
+        const double *__restrict va = vr + std::size_t(ins.a) * w;      \
+        const double *__restrict vb = vr + std::size_t(ins.b) * w;      \
+        for (int k = 0; k < len; k++) {                                 \
+            double t = va[k] * vb[k];                                   \
+            d[k] = (EXPR);                                              \
+        }                                                               \
+    }                                                                   \
+    break
+          case VecOp::Copy:
+            DIFFUSE_VEC_UNOP(va[k]);
+          case VecOp::Add:
+            DIFFUSE_VEC_BINOP(va[k] + vb[k]);
+          case VecOp::Sub:
+            DIFFUSE_VEC_BINOP(va[k] - vb[k]);
+          case VecOp::Mul:
+            DIFFUSE_VEC_BINOP(va[k] * vb[k]);
+          case VecOp::Div:
+            DIFFUSE_VEC_BINOP(va[k] / vb[k]);
+          case VecOp::Max:
+            DIFFUSE_VEC_BINOP(va[k] > vb[k] ? va[k] : vb[k]);
+          case VecOp::Min:
+            DIFFUSE_VEC_BINOP(va[k] < vb[k] ? va[k] : vb[k]);
+          case VecOp::Pow:
+            DIFFUSE_VEC_BINOP(std::pow(va[k], vb[k]));
+          case VecOp::Neg:
+            DIFFUSE_VEC_UNOP(-va[k]);
+          case VecOp::Sqrt:
+            DIFFUSE_VEC_UNOP(std::sqrt(va[k]));
+          case VecOp::Exp:
+            DIFFUSE_VEC_UNOP(std::exp(va[k]));
+          case VecOp::Log:
+            DIFFUSE_VEC_UNOP(std::log(va[k]));
+          case VecOp::Erf:
+            DIFFUSE_VEC_UNOP(fastErf(va[k]));
+          case VecOp::Abs:
+            DIFFUSE_VEC_UNOP(std::fabs(va[k]));
+          case VecOp::CmpLt:
+            DIFFUSE_VEC_BINOP(va[k] < vb[k] ? 1.0 : 0.0);
+          case VecOp::CmpGt:
+            DIFFUSE_VEC_BINOP(va[k] > vb[k] ? 1.0 : 0.0);
+          case VecOp::Select: {
+            double *__restrict d = vr + std::size_t(ins.dst) * w;
+            const double *__restrict va = vr + std::size_t(ins.a) * w;
+            const double *__restrict vb = vr + std::size_t(ins.b) * w;
+            const double *__restrict vc = vr + std::size_t(ins.c) * w;
+            for (int k = 0; k < len; k++)
+                d[k] = va[k] != 0.0 ? vb[k] : vc[k];
+            break;
+          }
+          case VecOp::AddK:
+            DIFFUSE_VEC_KOP(va[k] + kv);
+          case VecOp::SubK:
+            DIFFUSE_VEC_KOP(va[k] - kv);
+          case VecOp::RsubK:
+            DIFFUSE_VEC_KOP(kv - va[k]);
+          case VecOp::MulK:
+            DIFFUSE_VEC_KOP(va[k] * kv);
+          case VecOp::DivK:
+            DIFFUSE_VEC_KOP(va[k] / kv);
+          case VecOp::RdivK:
+            DIFFUSE_VEC_KOP(kv / va[k]);
+          case VecOp::MaxK:
+            DIFFUSE_VEC_KOP(va[k] > kv ? va[k] : kv);
+          case VecOp::MinK:
+            DIFFUSE_VEC_KOP(va[k] < kv ? va[k] : kv);
+          case VecOp::PowK:
+            DIFFUSE_VEC_KOP(std::pow(va[k], kv));
+          case VecOp::CmpLtK:
+            DIFFUSE_VEC_KOP(va[k] < kv ? 1.0 : 0.0);
+          case VecOp::CmpGtK:
+            DIFFUSE_VEC_KOP(va[k] > kv ? 1.0 : 0.0);
+          case VecOp::MulAdd:
+            DIFFUSE_VEC_TRIOP(t + vc[k]);
+          case VecOp::AddMul:
+            DIFFUSE_VEC_TRIOP(vc[k] + t);
+          case VecOp::MulSub:
+            DIFFUSE_VEC_TRIOP(t - vc[k]);
+          case VecOp::SubMul:
+            DIFFUSE_VEC_TRIOP(vc[k] - t);
+          case VecOp::MulAddK:
+            DIFFUSE_VEC_TRIKOP(t + kv);
+          case VecOp::MulSubK:
+            DIFFUSE_VEC_TRIKOP(t - kv);
+          case VecOp::MulRsubK:
+            DIFFUSE_VEC_TRIKOP(kv - t);
+// Scale-accumulate: product of a register and an immediate, combined
+// with a register (SCALEOP) or a second immediate (SCALEKOP). Same
+// two-rounding-step contract as the triads above.
+#define DIFFUSE_VEC_SCALEOP(EXPR)                                       \
+    {                                                                   \
+        DIFFUSE_KV;                                                     \
+        double *__restrict d = vr + std::size_t(ins.dst) * w;           \
+        const double *__restrict va = vr + std::size_t(ins.a) * w;      \
+        const double *__restrict vc = vr + std::size_t(ins.c) * w;      \
+        for (int k = 0; k < len; k++) {                                 \
+            double t = va[k] * kv;                                      \
+            d[k] = (EXPR);                                              \
+        }                                                               \
+    }                                                                   \
+    break
+#define DIFFUSE_VEC_SCALEKOP(EXPR)                                      \
+    {                                                                   \
+        DIFFUSE_KV;                                                     \
+        double kv2 = ins.scalar2 >= 0                                   \
+                         ? scalars[std::size_t(ins.scalar2)]            \
+                         : ins.imm2;                                    \
+        double *__restrict d = vr + std::size_t(ins.dst) * w;           \
+        const double *__restrict va = vr + std::size_t(ins.a) * w;      \
+        for (int k = 0; k < len; k++) {                                 \
+            double t = va[k] * kv;                                      \
+            d[k] = (EXPR);                                              \
+        }                                                               \
+    }                                                                   \
+    break
+          case VecOp::MulKAdd:
+            DIFFUSE_VEC_SCALEOP(t + vc[k]);
+          case VecOp::AddMulK:
+            DIFFUSE_VEC_SCALEOP(vc[k] + t);
+          case VecOp::MulKSub:
+            DIFFUSE_VEC_SCALEOP(t - vc[k]);
+          case VecOp::SubMulK:
+            DIFFUSE_VEC_SCALEOP(vc[k] - t);
+          case VecOp::MulKAddK:
+            DIFFUSE_VEC_SCALEKOP(t + kv2);
+          case VecOp::MulKSubK:
+            DIFFUSE_VEC_SCALEKOP(t - kv2);
+          case VecOp::MulKRsubK:
+            DIFFUSE_VEC_SCALEKOP(kv2 - t);
+#undef DIFFUSE_KV
+#undef DIFFUSE_VEC_UNOP
+#undef DIFFUSE_VEC_KOP
+#undef DIFFUSE_VEC_BINOP
+#undef DIFFUSE_VEC_TRIOP
+#undef DIFFUSE_VEC_TRIKOP
+#undef DIFFUSE_VEC_SCALEOP
+#undef DIFFUSE_VEC_SCALEKOP
+        }
+    }
+
+    // Fold reduction lanes in element order: the combine sequence is
+    // exactly the scalar interpreter's, so results are bit-identical
+    // at every strip width.
+    if (partials != nullptr) {
+        for (std::size_t r = 0; r < dp.reductions.size(); r++) {
+            const Reduction &red = dp.reductions[r];
+            const double *s = vr + std::size_t(red.srcReg) * w;
+            double p = partials[r];
+            for (int k = 0; k < len; k++)
+                p = applyReduction(red.op, p, s[k]);
+            partials[r] = p;
+        }
+    }
+}
+
+void
+Executor::runNest(PointContext &ctx, int nest)
+{
+    const KernelFunction &fn = *ctx.fn_;
+    const ExecutablePlan &plan = *ctx.plan_;
+    const NestPlan &np = plan.nests[std::size_t(nest)];
+    const LoopNest &loop = fn.nests[std::size_t(nest)];
+    const ResolvedNest &rn = ctx.nest(nest);
+
+    switch (np.kind) {
+      case NestKind::Gemv:
+        runGemv(loop, ctx.all_, 0, rn.rows);
+        return;
+      case NestKind::Csr:
+        runCsr(loop, ctx.all_, 0, rn.rows);
+        return;
+      case NestKind::Dense:
+        break;
+    }
+    if (rn.scalarFallback) {
+        runDense(fn, loop, ctx.all_, ctx.scalars_);
+        return;
+    }
+
+    const DensePlan &dp = np.dense;
+    ensureVecRegs(plan);
+    splatInvariants(dp, plan.stripWidth, ctx.scalars_);
+    invariantEpoch_ = 0; // register file no longer matches any epoch
+
+    partials_.resize(dp.reductions.size());
+    for (std::size_t r = 0; r < dp.reductions.size(); r++)
+        partials_[r] = reductionIdentity(dp.reductions[r].op);
+
+    for (coord_t s = 0; s < rn.strips; s++)
+        execStrip(dp, rn, s, plan.stripWidth, ctx.scalars_,
+                  partials_.data());
+
+    for (std::size_t r = 0; r < dp.reductions.size(); r++) {
+        const Reduction &red = dp.reductions[r];
+        const BufferBinding &acc =
+            ctx.all_[std::size_t(red.accBuf)];
+        double *p = static_cast<double *>(acc.base);
+        *p = applyReduction(red.op, *p, partials_[r]);
+    }
+}
+
+void
+Executor::runStrips(PointContext &ctx, int nest, coord_t strip0,
+                    coord_t strip1, std::uint64_t epoch)
+{
+    const ExecutablePlan &plan = *ctx.plan_;
+    const DensePlan &dp = plan.nests[std::size_t(nest)].dense;
+    const ResolvedNest &rn = ctx.nest(nest);
+    diffuse_assert(dp.reductions.empty(),
+                   "runStrips on a reduction-carrying nest");
+
+    ensureVecRegs(plan);
+    if (invariantEpoch_ != epoch) {
+        splatInvariants(dp, plan.stripWidth, ctx.scalars_);
+        invariantEpoch_ = epoch;
+    }
+    for (coord_t s = strip0; s < strip1; s++)
+        execStrip(dp, rn, s, plan.stripWidth, ctx.scalars_, nullptr);
+}
+
+void
+Executor::runGemvRows(PointContext &ctx, int nest, coord_t row0,
+                      coord_t row1)
+{
+    runGemv(ctx.fn_->nests[std::size_t(nest)], ctx.all_, row0, row1);
+}
+
+void
+Executor::runCsrRows(PointContext &ctx, int nest, coord_t row0,
+                     coord_t row1)
+{
+    runCsr(ctx.fn_->nests[std::size_t(nest)], ctx.all_, row0, row1);
+}
+
+void
+Executor::run(const KernelFunction &fn, const ExecutablePlan &plan,
+              std::span<const BufferBinding> bindings,
+              std::span<const double> scalars)
+{
+    ownCtx_.bind(fn, plan, bindings, scalars);
+    for (int n = 0; n < ownCtx_.nestCount(); n++)
+        runNest(ownCtx_, n);
+}
+
 void
 Executor::run(const KernelFunction &fn,
               std::span<const BufferBinding> bindings,
               std::span<const double> scalars)
 {
-    diffuse_assert(int(bindings.size()) >= fn.numArgs,
-                   "executor: %zu bindings for %d args of %s",
-                   bindings.size(), fn.numArgs, fn.name.c_str());
-
-    // Build the full binding table: external args, then locals.
-    all_.assign(bindings.begin(), bindings.begin() + fn.numArgs);
-    localStorage_.clear();
-    all_.resize(fn.buffers.size());
-    for (std::size_t b = fn.numArgs; b < fn.buffers.size(); b++) {
-        const BufferInfo &info = fn.buffers[b];
-        diffuse_assert(info.isLocal, "non-local buffer %zu beyond args",
-                       b);
-        if (info.eliminated)
-            continue;
-        Extents e = resolveExtents(fn, int(b), bindings);
-        BufferBinding bind;
-        bind.dims = e.dims;
-        bind.extent[0] = e.e[0];
-        bind.extent[1] = e.e[1];
-        localStorage_.emplace_back(std::size_t(e.volume()), 0.0);
-        bind.base = localStorage_.back().data();
-        bind.stride[bind.dims - 1] = 1;
-        if (bind.dims == 2)
-            bind.stride[0] = bind.extent[1];
-        all_[b] = bind;
+    if (scalarForced()) {
+        runScalar(fn, bindings, scalars);
+        return;
     }
+    ExecutablePlan plan = lowerPlan(fn);
+    run(fn, plan, bindings, scalars);
+}
+
+// ---------------------------------------------------------------------
+// Executor: the scalar oracle
+// ---------------------------------------------------------------------
+
+void
+Executor::runScalar(const KernelFunction &fn,
+                    std::span<const BufferBinding> bindings,
+                    std::span<const double> scalars)
+{
+    bindLocalBuffers(fn, bindings, all_, scalarArena_);
 
     for (const LoopNest &nest : fn.nests) {
         switch (nest.kind) {
@@ -177,10 +756,12 @@ Executor::run(const KernelFunction &fn,
             runDense(fn, nest, all_, scalars);
             break;
           case NestKind::Gemv:
-            runGemv(nest, all_);
+            runGemv(nest, all_, 0,
+                    all_[std::size_t(nest.gemvA)].extent[0]);
             break;
           case NestKind::Csr:
-            runCsr(nest, all_);
+            runCsr(nest, all_, 0,
+                   all_[std::size_t(nest.csrY)].extent[0]);
             break;
         }
     }
@@ -192,7 +773,8 @@ Executor::runDense(const KernelFunction &fn, const LoopNest &nest,
                    std::span<const double> scalars)
 {
     Extents dom = resolveExtents(fn, nest.domainBuf,
-                                 bindings.subspan(0, fn.numArgs));
+                                 bindings.subspan(0, std::size_t(
+                                                         fn.numArgs)));
     coord_t rows = dom.e[0];
     coord_t cols = dom.dims == 2 ? dom.e[1] : 1;
 
@@ -218,19 +800,21 @@ Executor::runDense(const KernelFunction &fn, const LoopNest &nest,
             for (const Instr &ins : nest.body) {
                 switch (ins.op) {
                   case Op::LoadBuf: {
-                    const BufferBinding &b = bindings[ins.buf];
+                    const BufferBinding &b = bindings[std::size_t(
+                        ins.buf)];
                     regs[ins.dst] = static_cast<const double *>(
                         b.base)[address(b, i, j)];
                     break;
                   }
                   case Op::StoreBuf: {
-                    const BufferBinding &b = bindings[ins.buf];
+                    const BufferBinding &b = bindings[std::size_t(
+                        ins.buf)];
                     static_cast<double *>(b.base)[address(b, i, j)] =
                         regs[ins.a];
                     break;
                   }
                   case Op::LoadScalar:
-                    regs[ins.dst] = scalars[ins.scalar];
+                    regs[ins.dst] = scalars[std::size_t(ins.scalar)];
                     break;
                   case Op::Const:
                     regs[ins.dst] = ins.imm;
@@ -276,7 +860,7 @@ Executor::runDense(const KernelFunction &fn, const LoopNest &nest,
                     regs[ins.dst] = std::log(regs[ins.a]);
                     break;
                   case Op::Erf:
-                    regs[ins.dst] = std::erf(regs[ins.a]);
+                    regs[ins.dst] = fastErf(regs[ins.a]);
                     break;
                   case Op::Abs:
                     regs[ins.dst] = std::fabs(regs[ins.a]);
@@ -305,7 +889,7 @@ Executor::runDense(const KernelFunction &fn, const LoopNest &nest,
 
     for (std::size_t r = 0; r < nest.reductions.size(); r++) {
         const Reduction &red = nest.reductions[r];
-        const BufferBinding &acc = bindings[red.accBuf];
+        const BufferBinding &acc = bindings[std::size_t(red.accBuf)];
         double *p = static_cast<double *>(acc.base);
         *p = applyReduction(red.op, *p, partials[r]);
     }
@@ -313,17 +897,29 @@ Executor::runDense(const KernelFunction &fn, const LoopNest &nest,
 
 void
 Executor::runGemv(const LoopNest &nest,
-                  std::span<const BufferBinding> bindings)
+                  std::span<const BufferBinding> bindings, coord_t row0,
+                  coord_t row1)
 {
-    const BufferBinding &a = bindings[nest.gemvA];
-    const BufferBinding &x = bindings[nest.gemvX];
-    const BufferBinding &y = bindings[nest.gemvY];
-    coord_t rows = a.extent[0];
+    const BufferBinding &a = bindings[std::size_t(nest.gemvA)];
+    const BufferBinding &x = bindings[std::size_t(nest.gemvX)];
+    const BufferBinding &y = bindings[std::size_t(nest.gemvY)];
     coord_t cols = a.extent[1];
     const double *ap = static_cast<const double *>(a.base);
     const double *xp = static_cast<const double *>(x.base);
     double *yp = static_cast<double *>(y.base);
-    for (coord_t i = 0; i < rows; i++) {
+    if (a.stride[1] == 1 && x.stride[0] == 1) {
+        // Unit-stride fast path: a plain dot per row that the
+        // compiler can unroll and vectorize.
+        for (coord_t i = row0; i < row1; i++) {
+            const double *__restrict row = ap + i * a.stride[0];
+            double sum = 0.0;
+            for (coord_t j = 0; j < cols; j++)
+                sum += row[j] * xp[j];
+            yp[i * y.stride[0]] = sum;
+        }
+        return;
+    }
+    for (coord_t i = row0; i < row1; i++) {
         double sum = 0.0;
         const double *row = ap + i * a.stride[0];
         for (coord_t j = 0; j < cols; j++)
@@ -334,18 +930,32 @@ Executor::runGemv(const LoopNest &nest,
 
 void
 Executor::runCsr(const LoopNest &nest,
-                 std::span<const BufferBinding> bindings)
+                 std::span<const BufferBinding> bindings, coord_t row0,
+                 coord_t row1)
 {
-    const BufferBinding &rowptr = bindings[nest.csrRowptr];
-    const BufferBinding &colind = bindings[nest.csrColind];
-    const BufferBinding &vals = bindings[nest.csrVals];
-    const BufferBinding &x = bindings[nest.csrX];
-    const BufferBinding &y = bindings[nest.csrY];
-    coord_t rows = y.extent[0];
+    const BufferBinding &rowptr = bindings[std::size_t(nest.csrRowptr)];
+    const BufferBinding &colind = bindings[std::size_t(nest.csrColind)];
+    const BufferBinding &vals = bindings[std::size_t(nest.csrVals)];
+    const BufferBinding &x = bindings[std::size_t(nest.csrX)];
+    const BufferBinding &y = bindings[std::size_t(nest.csrY)];
     const double *vp = static_cast<const double *>(vals.base);
     const double *xp = static_cast<const double *>(x.base);
     double *yp = static_cast<double *>(y.base);
-    for (coord_t i = 0; i < rows; i++) {
+    if (x.stride[0] == 1 && colind.dtype == DType::I32) {
+        // Unit-stride gather fast path over the common i32 index type.
+        const std::int32_t *ci =
+            static_cast<const std::int32_t *>(colind.base);
+        for (coord_t i = row0; i < row1; i++) {
+            coord_t begin = readIndex(rowptr, i);
+            coord_t end = readIndex(rowptr, i + 1);
+            double sum = 0.0;
+            for (coord_t k = begin; k < end; k++)
+                sum += vp[k] * xp[ci[k]];
+            yp[i * y.stride[0]] = sum;
+        }
+        return;
+    }
+    for (coord_t i = row0; i < row1; i++) {
         coord_t begin = readIndex(rowptr, i);
         coord_t end = readIndex(rowptr, i + 1);
         double sum = 0.0;
@@ -397,15 +1007,17 @@ WorkerPool::runShare(int worker)
 {
     // A worker that wakes after the job already completed (the caller
     // saw active_ == 0 and cleared fn_) has nothing to do.
-    const std::function<void(int, coord_t)> *fnp = fn_;
+    const std::function<void(int, coord_t, coord_t)> *fnp = fn_;
     if (fnp == nullptr)
         return;
-    const std::function<void(int, coord_t)> &fn = *fnp;
+    const std::function<void(int, coord_t, coord_t)> &fn = *fnp;
     for (;;) {
-        coord_t i = nextItem_.fetch_add(1, std::memory_order_relaxed);
-        if (i >= numItems_)
+        coord_t c = nextChunk_.fetch_add(1, std::memory_order_relaxed);
+        if (c >= numChunks_)
             break;
-        fn(worker, i);
+        coord_t begin = c * chunk_;
+        coord_t end = std::min(numItems_, begin + chunk_);
+        fn(worker, begin, end);
     }
 }
 
@@ -434,6 +1046,38 @@ WorkerPool::workerLoop(int worker)
 }
 
 void
+WorkerPool::parallelForChunked(
+    coord_t n, coord_t chunk,
+    const std::function<void(int, coord_t, coord_t)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (chunk <= 0)
+        chunk = 1;
+    if (threads_.empty() || n <= chunk) {
+        fn(0, 0, n);
+        return;
+    }
+    {
+        // Publish the job. Completion of the previous job (active_ ==
+        // 0) is guaranteed by the wait at the end of this function, so
+        // job state is never mutated while a worker reads it.
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn_ = &fn;
+        numItems_ = n;
+        chunk_ = chunk;
+        numChunks_ = (n + chunk - 1) / chunk;
+        nextChunk_.store(0, std::memory_order_relaxed);
+        generation_++;
+    }
+    start_.notify_all();
+    runShare(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return active_ == 0; });
+    fn_ = nullptr;
+}
+
+void
 WorkerPool::parallelFor(coord_t n,
                         const std::function<void(int, coord_t)> &fn)
 {
@@ -444,21 +1088,11 @@ WorkerPool::parallelFor(coord_t n,
             fn(0, i);
         return;
     }
-    {
-        // Publish the job. Completion of the previous job (active_ ==
-        // 0) is guaranteed by the wait at the end of this function, so
-        // job state is never mutated while a worker reads it.
-        std::lock_guard<std::mutex> lock(mutex_);
-        fn_ = &fn;
-        numItems_ = n;
-        nextItem_.store(0, std::memory_order_relaxed);
-        generation_++;
-    }
-    start_.notify_all();
-    runShare(0);
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return active_ == 0; });
-    fn_ = nullptr;
+    auto ranged = [&fn](int worker, coord_t begin, coord_t end) {
+        for (coord_t i = begin; i < end; i++)
+            fn(worker, i);
+    };
+    parallelForChunked(n, 1, ranged);
 }
 
 } // namespace kir

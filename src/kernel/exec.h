@@ -2,12 +2,29 @@
  * @file
  * Kernel execution and cost profiling.
  *
- * The Executor interprets optimized kernel functions over buffer
- * bindings. A binding is a strided view of a physical allocation — the
- * moral equivalent of the memrefs the paper's MLIR kernels receive. In
- * Real execution mode bindings carry live pointers and the interpreter
- * computes actual values; in Simulated mode bindings carry extents only
- * and just the cost profile is evaluated.
+ * Two execution engines share this file:
+ *
+ *  - The **vector executor** (the default): executes an
+ *    ExecutablePlan — the strip-mined tape lowered once per compiled
+ *    kernel (see plan.h). A PointContext resolves the plan's access
+ *    sites against concrete bindings once per invocation (classifying
+ *    each as contiguous / strided / broadcast), allocates task-local
+ *    temporaries from a reusable arena, and the executor then runs
+ *    pointer-bumping inner loops over strips of N elements held in a
+ *    register-vector file. Reductions fold lanes in element order, so
+ *    results are bit-identical to the scalar oracle at every strip
+ *    width.
+ *
+ *  - The **scalar interpreter** (the oracle): the original
+ *    element-at-a-time switch interpreter, retained verbatim behind
+ *    DIFFUSE_SCALAR_EXEC=1 for differential testing and as the
+ *    fallback for nest instances whose resolved views genuinely
+ *    overlap at shifted indices (element-interleaved semantics).
+ *
+ * A binding is a strided view of a physical allocation — the moral
+ * equivalent of the memrefs the paper's MLIR kernels receive. In Real
+ * execution mode bindings carry live pointers; in Simulated mode they
+ * carry extents only and just the cost profile is evaluated.
  *
  * Broadcasting: a binding whose extent along a dimension is 1 always
  * contributes index 0 along that dimension, which is how scalar stores
@@ -29,9 +46,12 @@
 #include "common/geometry.h"
 #include "common/types.h"
 #include "kernel/ir.h"
+#include "kernel/plan.h"
 
 namespace diffuse {
 namespace kir {
+
+struct CompiledKernel;
 
 /** A strided view of a physical allocation bound to a kernel buffer. */
 struct BufferBinding
@@ -80,8 +100,84 @@ TaskCost profileCost(const KernelFunction &fn,
                      std::span<const BufferBinding> bindings);
 
 /**
- * Interprets kernel functions. Stateless apart from scratch storage
- * reused across calls.
+ * Plan-metadata variant: identical result, but reads the per-nest
+ * flop/traffic summaries recorded at plan-lowering time instead of
+ * re-walking the IR for every point of every submission.
+ */
+TaskCost profileCost(const CompiledKernel &kernel,
+                     std::span<const BufferBinding> bindings);
+
+/** An access site resolved against a concrete binding. */
+struct ResolvedAccess
+{
+    double *base = nullptr; ///< view origin
+    coord_t rowStride = 0;  ///< elements advanced per outer row
+    coord_t step = 0;       ///< elements advanced per inner element
+    AccessKind kind = AccessKind::Broadcast;
+};
+
+/** One nest of a plan resolved against a point's bindings. */
+struct ResolvedNest
+{
+    coord_t outer = 1;        ///< rows (1 for 1-D domains)
+    coord_t inner = 0;        ///< contiguous inner run length
+    coord_t stripsPerRow = 0;
+    coord_t strips = 0;       ///< outer * stripsPerRow
+    coord_t rows = 0;         ///< Gemv/Csr row count (sharding)
+    /**
+     * This nest instance must run on the scalar oracle: a store site
+     * resolved to a genuinely shifted aliasing view or to a broadcast
+     * (extent-1) target with more than one iteration.
+     */
+    bool scalarFallback = false;
+    /**
+     * Strips of this instance may run concurrently (no fallback; for
+     * Gemv/Csr, rows may shard when the plan says rowParallel).
+     */
+    bool stripParallel = false;
+    std::vector<ResolvedAccess> accesses;
+};
+
+/**
+ * Per-point execution state shared by every worker sharding one
+ * point's strips: the full binding table (external args + arena-backed
+ * locals) and the plan's nests resolved against it. Reusable —
+ * bind() recycles the local-temporary arena across invocations, so
+ * steady-state execution performs no heap allocation.
+ */
+class PointContext
+{
+  public:
+    /**
+     * Resolve `plan` against external bindings. Allocates live local
+     * buffers from the internal arena (grown monotonically, reused
+     * across calls) and classifies every access site.
+     */
+    void bind(const KernelFunction &fn, const ExecutablePlan &plan,
+              std::span<const BufferBinding> bindings,
+              std::span<const double> scalars);
+
+    const ResolvedNest &nest(int i) const
+    {
+        return nests_[std::size_t(i)];
+    }
+    int nestCount() const { return int(nests_.size()); }
+
+  private:
+    friend class Executor;
+
+    const KernelFunction *fn_ = nullptr;
+    const ExecutablePlan *plan_ = nullptr;
+    std::span<const double> scalars_;
+    std::vector<BufferBinding> all_;
+    std::vector<double> arena_; ///< local-temporary storage, reused
+    std::vector<ResolvedNest> nests_;
+};
+
+/**
+ * Executes kernel functions. One instance per worker thread: holds
+ * the (scalar and vector) register files and scratch state, which are
+ * not thread-safe; PointContexts may be shared across executors.
  */
 class Executor
 {
@@ -91,33 +187,96 @@ class Executor
      * Bindings must cover the external arguments; live local buffers
      * are allocated internally. Reduction accumulators are combined
      * into their bound memory with the reduction operator.
+     *
+     * Runs the vector engine by lowering an ad-hoc plan (or the
+     * scalar oracle under DIFFUSE_SCALAR_EXEC=1). Callers on the hot
+     * path pass the kernel's cached plan instead.
      */
     void run(const KernelFunction &fn,
              std::span<const BufferBinding> bindings,
              std::span<const double> scalars);
 
+    /** Execute a pre-lowered plan (the compile-once fast path). */
+    void run(const KernelFunction &fn, const ExecutablePlan &plan,
+             std::span<const BufferBinding> bindings,
+             std::span<const double> scalars);
+
+    /** The element-at-a-time reference interpreter (the oracle). */
+    void runScalar(const KernelFunction &fn,
+                   std::span<const BufferBinding> bindings,
+                   std::span<const double> scalars);
+
+    // ---- Sharded execution pieces (used by the runtime's worker
+    // pool; see LowRuntime::executeRetired) --------------------------
+
+    /**
+     * Execute one whole nest of a bound context: vector engine with
+     * scalar fallback; reductions fold in element order and combine
+     * into the bound accumulator.
+     */
+    void runNest(PointContext &ctx, int nest);
+
+    /**
+     * Execute strips [strip0, strip1) of a reduction-free Dense nest.
+     * `epoch` identifies the dispatch: the first call of an epoch
+     * splats the nest's loop invariants into this executor's register
+     * file (invariants are identical across the points of a task, so
+     * one splat serves every point).
+     */
+    void runStrips(PointContext &ctx, int nest, coord_t strip0,
+                   coord_t strip1, std::uint64_t epoch);
+
+    /** Execute rows [row0, row1) of a Gemv nest. */
+    void runGemvRows(PointContext &ctx, int nest, coord_t row0,
+                     coord_t row1);
+
+    /** Execute rows [row0, row1) of a Csr nest. */
+    void runCsrRows(PointContext &ctx, int nest, coord_t row0,
+                    coord_t row1);
+
+    /**
+     * True when DIFFUSE_SCALAR_EXEC=1: the runtime executes every
+     * kernel on the scalar oracle (differential-testing toggle).
+     * Re-read from the environment on every call so benchmarks can
+     * flip it between phases.
+     */
+    static bool scalarForced();
+
   private:
+    void ensureVecRegs(const ExecutablePlan &plan);
+    void splatInvariants(const DensePlan &dp, int width,
+                         std::span<const double> scalars);
+    void execStrip(const DensePlan &dp, const ResolvedNest &rn,
+                   coord_t strip, int width,
+                   std::span<const double> scalars, double *partials);
+
     void runDense(const KernelFunction &fn, const LoopNest &nest,
                   std::span<const BufferBinding> bindings,
                   std::span<const double> scalars);
     void runGemv(const LoopNest &nest,
-                 std::span<const BufferBinding> bindings);
+                 std::span<const BufferBinding> bindings,
+                 coord_t row0, coord_t row1);
     void runCsr(const LoopNest &nest,
-                std::span<const BufferBinding> bindings);
+                std::span<const BufferBinding> bindings, coord_t row0,
+                coord_t row1);
 
-    /** Bindings table extended with allocations for local buffers. */
+    /** Bindings table extended with arena-backed local allocations. */
     std::vector<BufferBinding> all_;
-    std::vector<std::vector<double>> localStorage_;
-    std::vector<double> regs_;
+    std::vector<double> scalarArena_; ///< scalar-path locals, reused
+    std::vector<double> regs_;        ///< scalar register file
+    std::vector<double> vregs_;       ///< vector register file
+    std::vector<double> partials_;    ///< reduction scratch
+    std::uint64_t invariantEpoch_ = 0;
+    PointContext ownCtx_; ///< context for the sequential run() API
 };
 
 /**
- * Fixed pool of worker threads for sharding the per-point loop of an
- * index task. Worker 0 is the calling thread; `workers() - 1` threads
- * are spawned at construction and parked between jobs. Items are
- * claimed from a shared atomic counter, so load balance is dynamic but
- * any determinism requirement must be met by indexing results by item
- * (not by worker), as the runtime's reduction merge does.
+ * Fixed pool of worker threads for sharding the strip/row ranges of a
+ * retired index task. Worker 0 is the calling thread; `workers() - 1`
+ * threads are spawned at construction and parked between jobs. Ranges
+ * are claimed from a shared atomic counter, so load balance is dynamic
+ * but any determinism requirement must be met by indexing results by
+ * item (not by worker), as the runtime's reduction merge does.
  */
 class WorkerPool
 {
@@ -142,6 +301,16 @@ class WorkerPool
                      const std::function<void(int, coord_t)> &fn);
 
     /**
+     * Run `fn(worker, begin, end)` over [0, n) in chunks of `chunk`
+     * items claimed dynamically; blocks until all chunks complete.
+     * This is how workers split strip ranges: claiming ranges instead
+     * of single items keeps the claim counter off the hot path.
+     */
+    void
+    parallelForChunked(coord_t n, coord_t chunk,
+                       const std::function<void(int, coord_t, coord_t)> &fn);
+
+    /**
      * Worker count from the environment: DIFFUSE_WORKERS when set (>=
      * 1), else 1 — parallel execution is opt-in so that default runs
      * match the reference semantics exactly.
@@ -156,9 +325,11 @@ class WorkerPool
     std::mutex mutex_;
     std::condition_variable start_;
     std::condition_variable done_;
-    const std::function<void(int, coord_t)> *fn_ = nullptr;
-    std::atomic<coord_t> nextItem_{0};
+    const std::function<void(int, coord_t, coord_t)> *fn_ = nullptr;
+    std::atomic<coord_t> nextChunk_{0};
     coord_t numItems_ = 0;
+    coord_t chunk_ = 1;
+    coord_t numChunks_ = 0;
     /** Spawned workers currently inside runShare(). */
     int active_ = 0;
     std::uint64_t generation_ = 0;

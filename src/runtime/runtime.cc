@@ -85,15 +85,50 @@ LowRuntime::createStore(const Point &shape, DType dtype, double init)
     return id;
 }
 
+bool
+LowRuntime::writeCoversStore(const LowArg &arg, const StoreRec &store)
+{
+    if (arg.replicated)
+        return true; // every point writes the whole store
+    coord_t covered = 0;
+    for (const Rect &piece : arg.pieces)
+        covered += piece.intersect(store.shape).volume();
+    // Disjoint pieces summing to the full volume tile the store
+    // exactly; with any overlap the covered volume falls short.
+    return covered == store.shape.volume() &&
+           !crossPointOverlap(arg.pieces, arg.pieces);
+}
+
 void
-LowRuntime::ensureAllocated(StoreRec &store)
+LowRuntime::recycleAllocation(StoreRec &store)
+{
+    if (store.data.empty())
+        return;
+    if (pooledBytes_ + store.data.size() > kMaxPooledBytes)
+        return; // pool full: let the allocation free normally
+    pooledBytes_ += store.data.size();
+    bufferPool_[store.data.size()].push_back(std::move(store.data));
+}
+
+void
+LowRuntime::ensureAllocated(StoreRec &store, bool skip_init)
 {
     if (!store.data.empty() || mode_ != ExecutionMode::Real)
         return;
     std::size_t n = std::size_t(store.shape.volume());
-    store.data.resize(n * dtypeSize(store.dtype));
+    std::size_t bytes = n * dtypeSize(store.dtype);
+    auto pooled = bufferPool_.find(bytes);
+    if (pooled != bufferPool_.end() && !pooled->second.empty()) {
+        store.data = std::move(pooled->second.back());
+        pooled->second.pop_back();
+        pooledBytes_ -= bytes;
+    } else {
+        store.data.alloc(bytes);
+    }
     stats_.storesMaterialized++;
     stats_.bytesMaterialized += double(store.data.size());
+    if (skip_init)
+        return;
     switch (store.dtype) {
       case DType::F64: {
         double *p = reinterpret_cast<double *>(store.data.data());
@@ -128,6 +163,7 @@ LowRuntime::destroyStore(StoreId id)
         }
         return;
     }
+    recycleAllocation(it->second);
     stores_.erase(it);
     stream_.forgetStore(id);
 }
@@ -393,7 +429,9 @@ LowRuntime::submit(LaunchedTask task)
                                        task.numPoints);
         }
         buildBindings(task, p, bindings, false);
-        kir::TaskCost cost = kir::profileCost(fn, bindings);
+        // Plan metadata carries the per-nest flop/traffic summaries,
+        // so costing a point is extent resolution only (no IR walk).
+        kir::TaskCost cost = kir::profileCost(*task.kernel, bindings);
         stats_.bytesHbm += cost.bytes;
         double compute = std::max(cost.bytes / machine_.hbmBandwidth,
                                   cost.wflops / machine_.flopRate);
@@ -501,26 +539,48 @@ LowRuntime::executeRetired(const LaunchedTask &task)
     if (mode_ != ExecutionMode::Real)
         return;
     const kir::KernelFunction &fn = task.kernel->fn;
+    const bool scalar_oracle = kir::Executor::scalarForced();
 
     // Materialize allocations serially: StoreRec mutation and stats
-    // accounting must not race with the sharded point loop.
-    for (const LowArg &arg : task.args)
-        ensureAllocated(rec(arg.store));
+    // accounting must not race with the sharded point loop. A store
+    // whose first-ever use is a fully-covering write (and which no
+    // argument of this task reads or reduces) skips the init fill —
+    // the kernel overwrites every element before anything can read.
+    for (const LowArg &arg : task.args) {
+        StoreRec &r = rec(arg.store);
+        if (!r.data.empty())
+            continue;
+        bool skip = privWrites(arg.priv) && !privReads(arg.priv) &&
+                    writeCoversStore(arg, r);
+        for (const LowArg &other : task.args) {
+            if (skip && other.store == arg.store &&
+                (privReads(other.priv) || privReduces(other.priv)))
+                skip = false;
+        }
+        ensureAllocated(r, skip);
+    }
 
     int np = task.numPoints;
     if (!task.parallelSafe || pool_.workers() == 1 || np <= 1) {
-        // Sequential reference path: point tasks in point order.
+        // Sequential reference path: point tasks in point order, each
+        // on the vector executor with the kernel's cached plan (or on
+        // the scalar oracle under DIFFUSE_SCALAR_EXEC=1).
         std::vector<kir::BufferBinding> &b = workerBindings_[0];
         for (int p = 0; p < np; p++) {
             buildBindings(task, p, b, true);
-            executors_[0].run(fn, b, task.scalars);
+            if (scalar_oracle || task.kernel->plan == nullptr)
+                executors_[0].runScalar(fn, b, task.scalars);
+            else
+                executors_[0].run(fn, *task.kernel->plan, b,
+                                  task.scalars);
         }
         return;
     }
 
-    // Sharded path: every point runs on some worker with private
-    // bindings and interpreter state. Reduction accumulators divert to
-    // per-point slots so no two points touch shared memory.
+    // Sharded path. Reduction accumulators divert to per-point slots
+    // so no two points touch shared memory; slots merge in point order
+    // after execution, keeping sums bit-identical for every worker
+    // count.
     stats_.tasksSharded++;
     struct RedSlot
     {
@@ -541,16 +601,30 @@ LowRuntime::executeRetired(const LaunchedTask &task)
         reds.push_back(std::move(rs));
     }
 
-    pool_.parallelFor(np, [&](int worker, coord_t p) {
-        std::vector<kir::BufferBinding> &b =
-            workerBindings_[std::size_t(worker)];
-        buildBindings(task, int(p), b, true);
-        for (RedSlot &rs : reds) {
-            b[rs.arg].base =
-                rs.partials.data() + std::size_t(p) * std::size_t(rs.vol);
-        }
-        executors_[std::size_t(worker)].run(fn, b, task.scalars);
-    });
+    if (scalar_oracle || task.kernel->plan == nullptr) {
+        // Oracle path: whole points shard across workers, private
+        // interpreter state per worker (the pre-plan reference shape).
+        pool_.parallelFor(np, [&](int worker, coord_t p) {
+            std::vector<kir::BufferBinding> &b =
+                workerBindings_[std::size_t(worker)];
+            buildBindings(task, int(p), b, true);
+            for (RedSlot &rs : reds) {
+                b[rs.arg].base = rs.partials.data() +
+                                 std::size_t(p) * std::size_t(rs.vol);
+            }
+            executors_[std::size_t(worker)].runScalar(fn, b,
+                                                      task.scalars);
+        });
+    } else {
+        executeSharded(task, [&](int p,
+                                 std::vector<kir::BufferBinding> &b) {
+            buildBindings(task, p, b, true);
+            for (RedSlot &rs : reds) {
+                b[rs.arg].base = rs.partials.data() +
+                                 std::size_t(p) * std::size_t(rs.vol);
+            }
+        });
+    }
 
     // Merge reduction partials in point order: the combine sequence
     // is identical for every worker count, so sums stay bit-identical
@@ -565,6 +639,97 @@ LowRuntime::executeRetired(const LaunchedTask &task)
             for (coord_t e = 0; e < rs.vol; e++)
                 dst[e] = applyReduction(arg.redop, dst[e], src[e]);
         }
+    }
+}
+
+void
+LowRuntime::executeSharded(
+    const LaunchedTask &task,
+    const std::function<void(int, std::vector<kir::BufferBinding> &)>
+        &prepare)
+{
+    const kir::KernelFunction &fn = task.kernel->fn;
+    const kir::ExecutablePlan &plan = *task.kernel->plan;
+    int np = task.numPoints;
+
+    // Resolve every point's plan against its bindings (serial: cheap,
+    // and the contexts recycle their local-temporary arenas).
+    if (int(pointCtxs_.size()) < np)
+        pointCtxs_.resize(std::size_t(np));
+    std::vector<kir::BufferBinding> &scratch = workerBindings_[0];
+    for (int p = 0; p < np; p++) {
+        prepare(p, scratch);
+        pointCtxs_[std::size_t(p)].bind(fn, plan, scratch,
+                                        task.scalars);
+    }
+
+    // Nests execute in order with a barrier between them (a later nest
+    // may consume what an earlier one produced). Within a nest,
+    // workers claim strip (or row) ranges flattened across points —
+    // points are independent here, so any interleaving is sound.
+    std::vector<coord_t> offsets(std::size_t(np) + 1, 0);
+    for (std::size_t n = 0; n < plan.nests.size(); n++) {
+        const kir::NestPlan &npn = plan.nests[n];
+        bool dense = npn.kind == kir::NestKind::Dense;
+
+        // Reduction-carrying nests fold lanes in element order into
+        // per-point slots; nests whose instances fell back to the
+        // scalar oracle keep interleaved semantics. Both run whole
+        // nests per point (still concurrently across points).
+        bool ranged = !dense || npn.dense.reductions.empty();
+        for (int p = 0; ranged && p < np; p++) {
+            if (!pointCtxs_[std::size_t(p)].nest(int(n)).stripParallel)
+                ranged = false;
+        }
+        if (!ranged) {
+            pool_.parallelFor(np, [&](int worker, coord_t p) {
+                executors_[std::size_t(worker)].runNest(
+                    pointCtxs_[std::size_t(p)], int(n));
+            });
+            continue;
+        }
+
+        coord_t total = 0;
+        for (int p = 0; p < np; p++) {
+            const kir::ResolvedNest &rn =
+                pointCtxs_[std::size_t(p)].nest(int(n));
+            offsets[std::size_t(p)] = total;
+            total += dense ? rn.strips : rn.rows;
+        }
+        offsets[std::size_t(np)] = total;
+        if (total == 0)
+            continue;
+
+        coord_t chunk = std::max<coord_t>(
+            1, total / (coord_t(pool_.workers()) * 8));
+        std::uint64_t epoch = ++stripEpoch_;
+        pool_.parallelForChunked(total, chunk, [&](int worker,
+                                                   coord_t begin,
+                                                   coord_t end) {
+            kir::Executor &ex = executors_[std::size_t(worker)];
+            int p = int(std::upper_bound(offsets.begin(),
+                                         offsets.end(), begin) -
+                        offsets.begin()) -
+                    1;
+            coord_t s = begin;
+            while (s < end) {
+                coord_t limit =
+                    std::min(end, offsets[std::size_t(p) + 1]);
+                if (limit > s) {
+                    kir::PointContext &ctx = pointCtxs_[std::size_t(p)];
+                    coord_t lo = s - offsets[std::size_t(p)];
+                    coord_t hi = limit - offsets[std::size_t(p)];
+                    if (dense)
+                        ex.runStrips(ctx, int(n), lo, hi, epoch);
+                    else if (npn.kind == kir::NestKind::Gemv)
+                        ex.runGemvRows(ctx, int(n), lo, hi);
+                    else
+                        ex.runCsrRows(ctx, int(n), lo, hi);
+                }
+                s = limit;
+                p++;
+            }
+        });
     }
 }
 
@@ -584,6 +749,7 @@ LowRuntime::finishRetired(const LaunchedTask &task)
         if (r.zombie && r.pendingUses == 0) {
             StoreId sid = arg.store;
             zombies_--;
+            recycleAllocation(r);
             stores_.erase(it);
             stream_.forgetStore(sid);
         }

@@ -17,9 +17,12 @@
  * allow; wait()/fence() force retirement, and host-side accessors
  * (readScalarValue, dataF64/I32/I64) fence the affected store
  * implicitly. In Real mode retired point tasks run against host
- * allocations — sharded across a WorkerPool with a deterministic
- * reduction merge, so numerics are bit-identical for any worker count.
- * In Simulated mode only the cost model advances. Both modes account
+ * allocations on the vectorized kernel executor (strip-mined tapes
+ * from the kernel's cached ExecutablePlan); with multiple workers the
+ * WorkerPool splits strip ranges — not raw points — with a
+ * deterministic reduction merge, so numerics are bit-identical for
+ * any worker count (DIFFUSE_SCALAR_EXEC=1 selects the scalar oracle
+ * instead). In Simulated mode only the cost model advances. Both modes account
  * identical simulated time: the critical path through the task graph
  * on per-processor timelines, not the serialized sum of task
  * latencies.
@@ -29,6 +32,7 @@
 #define DIFFUSE_RUNTIME_RUNTIME_H
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -183,13 +187,36 @@ class LowRuntime
     std::size_t liveStores() const { return stores_.size() - zombies_; }
 
   private:
+    /**
+     * A store allocation. Unlike std::vector, alloc() leaves memory
+     * uninitialized, so a store whose first use is a fully-covering
+     * write never pays an init pass (the kernel overwrites every
+     * element anyway).
+     */
+    struct RawBuffer
+    {
+        std::unique_ptr<std::byte[]> p;
+        std::size_t n = 0;
+
+        bool empty() const { return n == 0; }
+        std::size_t size() const { return n; }
+        std::byte *data() { return p.get(); }
+        const std::byte *data() const { return p.get(); }
+        void
+        alloc(std::size_t bytes)
+        {
+            p.reset(new std::byte[bytes]);
+            n = bytes;
+        }
+    };
+
     struct StoreRec
     {
         Rect shape;
         DType dtype = DType::F64;
         double init = 0.0;
         /** Lazily materialized on first use (Real mode). */
-        std::vector<std::byte> data;
+        RawBuffer data;
         /** Coherence: identity of the partition that last wrote. */
         std::uint64_t lastWriteLayout = 0;
         std::vector<Rect> lastWritePieces;
@@ -204,8 +231,17 @@ class LowRuntime
     StoreRec &rec(StoreId id);
     const StoreRec &rec(StoreId id) const;
 
-    /** Materialize the allocation of a store (Real mode). */
-    void ensureAllocated(StoreRec &store);
+    /**
+     * Materialize the allocation of a store (Real mode). With
+     * `skip_init` the memory is left uninitialized — legal only when
+     * the caller proved the first access overwrites every element.
+     */
+    void ensureAllocated(StoreRec &store, bool skip_init = false);
+
+    /** Does `arg` write every element of the store (disjoint pieces
+     * covering the full shape, or a replicated write)? */
+    static bool writeCoversStore(const LowArg &arg,
+                                 const StoreRec &store);
 
     /** Point-to-point communication seconds for point `p` of `arg`. */
     double commSecondsFor(const LowArg &arg, const StoreRec &store,
@@ -226,21 +262,50 @@ class LowRuntime
     /** Run one retired task against host memory (Real mode). */
     void executeRetired(const LaunchedTask &task);
 
+    /**
+     * Strip-sharded execution of a parallel-safe retired task on the
+     * vector plan: workers claim strip (or Gemv/Csr row) ranges
+     * flattened across points, nest by nest. `prepare` fills point
+     * `p`'s external bindings (including reduction-slot diversion).
+     */
+    void executeSharded(
+        const LaunchedTask &task,
+        const std::function<void(int, std::vector<kir::BufferBinding> &)>
+            &prepare);
+
     /** Drop per-task runtime state once a task has retired. */
     void finishRetired(const LaunchedTask &task);
+
+    /** Return a destroyed store's allocation to the recycling pool. */
+    void recycleAllocation(StoreRec &store);
 
     MachineConfig machine_;
     ExecutionMode mode_;
     RuntimeStats stats_;
     std::unordered_map<StoreId, StoreRec> stores_;
+    /**
+     * Recycled allocations keyed by byte size. Iterative apps create
+     * and destroy same-shaped stores every step; reusing their warm,
+     * already-faulted pages keeps the executor off the kernel's
+     * page-fault path. Bounded by kMaxPooledBytes (beyond that,
+     * buffers free eagerly).
+     */
+    std::unordered_map<std::size_t, std::vector<RawBuffer>> bufferPool_;
+    std::size_t pooledBytes_ = 0;
+    static constexpr std::size_t kMaxPooledBytes = 256u << 20;
     /** Destroyed-but-in-flight stores still held in stores_. */
     std::size_t zombies_ = 0;
     std::vector<ImageData> images_;
     StoreId nextStore_ = 1;
     kir::WorkerPool pool_;
-    /** Per-worker interpreter state (executors are not thread-safe). */
+    /** Per-worker executor state (executors are not thread-safe). */
     std::vector<kir::Executor> executors_;
     std::vector<std::vector<kir::BufferBinding>> workerBindings_;
+    /** Per-point plan resolutions for the strip-sharded path. */
+    std::vector<kir::PointContext> pointCtxs_;
+    /** Identifies strip dispatches so workers splat loop invariants
+     * into their register files exactly once per dispatch. */
+    std::uint64_t stripEpoch_ = 0;
     TaskStream stream_;
     /** Stream clocks at the previous submit (stats are deltas so
      * RuntimeStats::reset() keeps working). */

@@ -1,0 +1,660 @@
+/**
+ * @file
+ * Differential tests for the vectorized kernel executor: every Op,
+ * every addressing class (contiguous / strided / transposed-stride /
+ * broadcast), strip widths 1, 3 and 256, and domain sizes that are
+ * not strip multiples — all asserting the vector engine matches the
+ * scalar oracle BITWISE.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "kernel/compiler.h"
+#include "kernel/exec.h"
+#include "kernel/ir.h"
+#include "kernel/plan.h"
+
+namespace diffuse {
+namespace kir {
+namespace {
+
+const int kStrips[] = {1, 3, 256};
+
+/** Bitwise comparison of two double vectors. */
+::testing::AssertionResult
+bitEqual(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return ::testing::AssertionFailure() << "size mismatch";
+    for (std::size_t i = 0; i < a.size(); i++) {
+        if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+            return ::testing::AssertionFailure()
+                   << "element " << i << ": " << a[i] << " vs " << b[i];
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+BufferBinding
+bindVec(std::vector<double> &v)
+{
+    BufferBinding b;
+    b.base = v.data();
+    b.dims = 1;
+    b.extent[0] = coord_t(v.size());
+    b.stride[0] = 1;
+    return b;
+}
+
+/** Deterministic quasi-random fill, including negatives and zeros. */
+void
+fill(std::vector<double> &v, int seed)
+{
+    for (std::size_t i = 0; i < v.size(); i++) {
+        double x = std::sin(double(i * 37 + seed * 101)) * 3.0;
+        if (i % 13 == 0)
+            x = 0.0;
+        v[i] = x;
+    }
+}
+
+/**
+ * A body exercising every opcode. Built so each op's result feeds the
+ * output (no dead code), with domains kept finite (abs before sqrt /
+ * log; pow on a positive base).
+ */
+KernelFunction
+makeEveryOpKernel(int dims)
+{
+    KernelFunction fn;
+    fn.name = "every_op";
+    fn.numArgs = 3; // in0, in1, out
+    fn.numScalars = 1;
+    fn.buffers.resize(3);
+    for (auto &b : fn.buffers) {
+        b.dims = dims;
+        b.shapeClass = 0;
+    }
+    LoopNest nest;
+    nest.domainBuf = 2;
+    BodyBuilder b(nest.body);
+    int x = b.load(0);
+    int y = b.load(1);
+    int s = b.scalar(0);
+    int c = b.constant(1.25);
+    int add = b.binary(Op::Add, x, y);
+    int sub = b.binary(Op::Sub, add, s);
+    int mul = b.binary(Op::Mul, sub, c);
+    int div = b.binary(Op::Div, mul, b.constant(3.0));
+    int mx = b.binary(Op::Max, div, x);
+    int mn = b.binary(Op::Min, mx, y);
+    int abs = b.unary(Op::Abs, mn);
+    int pw = b.binary(Op::Pow, abs, c);
+    int ng = b.unary(Op::Neg, pw);
+    int sq = b.unary(Op::Sqrt, abs);
+    int ex = b.unary(Op::Exp, mn);
+    int lg = b.unary(Op::Log, ex);
+    int er = b.unary(Op::Erf, lg);
+    int lt = b.binary(Op::CmpLt, x, y);
+    int gt = b.binary(Op::CmpGt, x, y);
+    int sel = b.select(lt, ng, sq);
+    int sel2 = b.select(gt, sel, er);
+    int cp = b.unary(Op::Copy, sel2);
+    b.store(2, cp);
+    fn.nests.push_back(std::move(nest));
+    return fn;
+}
+
+/** Run `fn` on the oracle and on plans of every strip width; compare
+ * the full output allocations bitwise. */
+void
+expectDifferentialMatch(const KernelFunction &fn,
+                        std::vector<BufferBinding> binds,
+                        std::vector<double> &out_alloc,
+                        std::span<const double> scalars,
+                        const std::vector<double> &out_init)
+{
+    Executor ex;
+    out_alloc = out_init;
+    ex.runScalar(fn, binds, scalars);
+    std::vector<double> want = out_alloc;
+
+    for (int w : kStrips) {
+        ExecutablePlan plan = lowerPlan(fn, w);
+        out_alloc = out_init;
+        ex.run(fn, plan, binds, scalars);
+        EXPECT_TRUE(bitEqual(out_alloc, want)) << "strip width " << w;
+    }
+}
+
+TEST(VectorExecutor, EveryOpContiguous1d)
+{
+    KernelFunction fn = makeEveryOpKernel(1);
+    const coord_t n = 777; // not a multiple of 1, 3 or 256
+    std::vector<double> a(n), b(n), out(n, 0.0);
+    fill(a, 1);
+    fill(b, 2);
+    std::vector<BufferBinding> binds{bindVec(a), bindVec(b),
+                                     bindVec(out)};
+    double scal = 0.75;
+    expectDifferentialMatch(fn, binds, out, std::span(&scal, 1),
+                            std::vector<double>(n, 0.0));
+}
+
+TEST(VectorExecutor, EveryOpStrided1d)
+{
+    KernelFunction fn = makeEveryOpKernel(1);
+    const coord_t n = 257;
+    std::vector<double> a(3 * n), b(2 * n), out(4 * n, -7.5);
+    fill(a, 3);
+    fill(b, 4);
+    BufferBinding ba = bindVec(a);
+    ba.extent[0] = n;
+    ba.stride[0] = 3;
+    BufferBinding bb = bindVec(b);
+    bb.extent[0] = n;
+    bb.stride[0] = 2;
+    BufferBinding bo = bindVec(out);
+    bo.extent[0] = n;
+    bo.stride[0] = 4;
+    double scal = -0.5;
+    expectDifferentialMatch(fn, {ba, bb, bo}, out, std::span(&scal, 1),
+                            std::vector<double>(4 * n, -7.5));
+}
+
+TEST(VectorExecutor, EveryOpBroadcast1d)
+{
+    KernelFunction fn = makeEveryOpKernel(1);
+    const coord_t n = 1000;
+    std::vector<double> a(n), s{2.5}, out(n, 0.0);
+    fill(a, 5);
+    std::vector<BufferBinding> binds{bindVec(a), bindVec(s),
+                                     bindVec(out)};
+    double scal = 1.5;
+    expectDifferentialMatch(fn, binds, out, std::span(&scal, 1),
+                            std::vector<double>(n, 0.0));
+}
+
+TEST(VectorExecutor, EveryOp2dRowMajorAndBroadcastColumn)
+{
+    KernelFunction fn = makeEveryOpKernel(2);
+    const coord_t rows = 5, cols = 13; // cols not a strip multiple
+    std::vector<double> a(rows * cols), col(rows), out(rows * cols, 0.0);
+    fill(a, 6);
+    fill(col, 7);
+    BufferBinding ba;
+    ba.base = a.data();
+    ba.dims = 2;
+    ba.extent[0] = rows;
+    ba.extent[1] = cols;
+    ba.stride[0] = cols;
+    ba.stride[1] = 1;
+    BufferBinding bc; // extent-1 inner dim: broadcast along columns
+    bc.base = col.data();
+    bc.dims = 2;
+    bc.extent[0] = rows;
+    bc.extent[1] = 1;
+    bc.stride[0] = 1;
+    bc.stride[1] = 0;
+    BufferBinding bo = ba;
+    bo.base = out.data();
+    double scal = 0.25;
+    expectDifferentialMatch(fn, {ba, bc, bo}, out, std::span(&scal, 1),
+                            std::vector<double>(rows * cols, 0.0));
+}
+
+TEST(VectorExecutor, EveryOp2dTransposedStride)
+{
+    KernelFunction fn = makeEveryOpKernel(2);
+    const coord_t rows = 7, cols = 11;
+    // `a` is a transposed view of a cols x rows parent: stride[0]=1,
+    // stride[1]=rows — the inner loop walks a non-unit stride.
+    std::vector<double> parent(rows * cols), b(rows * cols),
+        out(rows * cols, 0.0);
+    fill(parent, 8);
+    fill(b, 9);
+    BufferBinding ba;
+    ba.base = parent.data();
+    ba.dims = 2;
+    ba.extent[0] = rows;
+    ba.extent[1] = cols;
+    ba.stride[0] = 1;
+    ba.stride[1] = rows;
+    BufferBinding bb;
+    bb.base = b.data();
+    bb.dims = 2;
+    bb.extent[0] = rows;
+    bb.extent[1] = cols;
+    bb.stride[0] = cols;
+    bb.stride[1] = 1;
+    BufferBinding bo = ba; // transposed-stride store target
+    bo.base = out.data();
+    double scal = 2.0;
+    expectDifferentialMatch(fn, {ba, bb, bo}, out, std::span(&scal, 1),
+                            std::vector<double>(rows * cols, 0.0));
+}
+
+TEST(VectorExecutor, FusedTriadsMatchOracleInAllOrders)
+{
+    // Trigger every fused-triad form (MulAdd, AddMul, MulSub, SubMul,
+    // MulAddK, MulSubK, MulRsubK): single-use products feeding an
+    // add/sub on either side, and immediate-form consumers.
+    KernelFunction fn;
+    fn.name = "triads";
+    fn.numArgs = 4;
+    fn.buffers.resize(4);
+    for (auto &buf : fn.buffers) {
+        buf.dims = 1;
+        buf.shapeClass = 0;
+    }
+    LoopNest nest;
+    nest.domainBuf = 3;
+    BodyBuilder b(nest.body);
+    int x = b.load(0);
+    int y = b.load(1);
+    int z = b.load(2);
+    int r1 = b.binary(Op::Add, b.binary(Op::Mul, x, y), z); // MulAdd
+    int r2 = b.binary(Op::Add, y, b.binary(Op::Mul, x, z)); // AddMul
+    int r3 = b.binary(Op::Sub, b.binary(Op::Mul, y, z), x); // MulSub
+    int r4 = b.binary(Op::Sub, z, b.binary(Op::Mul, x, y)); // SubMul
+    int r5 = b.binary(Op::Add, b.binary(Op::Mul, r1, r2),
+                      b.constant(2.5));                     // MulAddK
+    int r6 = b.binary(Op::Sub, b.binary(Op::Mul, r3, r4),
+                      b.constant(1.5));                     // MulSubK
+    int r7 = b.binary(Op::Sub, b.constant(4.0),
+                      b.binary(Op::Mul, r5, r6));           // MulRsubK
+    b.store(3, r7);
+    fn.nests.push_back(std::move(nest));
+
+    {
+        // The lowering must actually produce fused triads.
+        ExecutablePlan plan = lowerPlan(fn);
+        int triads = 0;
+        for (const VecInstr &ins : plan.nests[0].dense.tape) {
+            if (ins.op == VecOp::MulAdd || ins.op == VecOp::AddMul ||
+                ins.op == VecOp::MulSub || ins.op == VecOp::SubMul ||
+                ins.op == VecOp::MulAddK || ins.op == VecOp::MulSubK ||
+                ins.op == VecOp::MulRsubK)
+                triads++;
+        }
+        EXPECT_EQ(triads, 7);
+    }
+
+    const coord_t n = 777;
+    std::vector<double> a(n), c(n), e(n), out(n, 0.0);
+    fill(a, 21);
+    fill(c, 22);
+    fill(e, 23);
+    std::vector<BufferBinding> binds{bindVec(a), bindVec(c), bindVec(e),
+                                     bindVec(out)};
+    expectDifferentialMatch(fn, binds, out, {},
+                            std::vector<double>(n, 0.0));
+}
+
+TEST(VectorExecutor, ReductionsBitIdenticalAtEveryStripWidth)
+{
+    for (ReductionOp op :
+         {ReductionOp::Sum, ReductionOp::Max, ReductionOp::Min}) {
+        KernelFunction fn;
+        fn.name = "reduce";
+        fn.numArgs = 3; // in, scale, acc
+        fn.buffers.resize(3);
+        fn.buffers[0].dims = 1;
+        fn.buffers[0].shapeClass = 0;
+        fn.buffers[1].dims = 1;
+        fn.buffers[1].shapeClass = 1;
+        fn.buffers[2].dims = 1;
+        fn.buffers[2].shapeClass = 1;
+        LoopNest nest;
+        nest.domainBuf = 0;
+        BodyBuilder b(nest.body);
+        int prod = b.binary(Op::Mul, b.load(0), b.load(1));
+        Reduction red;
+        red.accBuf = 2;
+        red.op = op;
+        red.srcReg = prod;
+        nest.reductions.push_back(red);
+        fn.nests.push_back(std::move(nest));
+
+        const coord_t n = 1000; // not a strip multiple
+        std::vector<double> in(n), scale{1.0 / 3.0};
+        fill(in, 10 + int(op));
+        std::vector<double> acc{0.125};
+
+        Executor ex;
+        std::vector<BufferBinding> binds{bindVec(in), bindVec(scale),
+                                         bindVec(acc)};
+        ex.runScalar(fn, binds, {});
+        double want = acc[0];
+
+        for (int w : kStrips) {
+            ExecutablePlan plan = lowerPlan(fn, w);
+            acc[0] = 0.125;
+            ex.run(fn, plan, binds, {});
+            EXPECT_EQ(std::memcmp(&acc[0], &want, sizeof(double)), 0)
+                << reductionOpName(op) << " strip " << w;
+        }
+    }
+}
+
+TEST(VectorExecutor, ShiftedAliasFallsBackToOracleSemantics)
+{
+    // store %1 reads %0 where the two are SHIFTED views of one
+    // allocation (alias class 0): out[i] = in[i+1] + 1 with out
+    // overlapping in. The scalar oracle interleaves element-wise; the
+    // vector engine must detect the shifted alias at bind time and
+    // reproduce the interleaved result exactly.
+    KernelFunction fn;
+    fn.name = "shifted";
+    fn.numArgs = 2;
+    fn.buffers.resize(2);
+    for (auto &b : fn.buffers) {
+        b.dims = 1;
+        b.shapeClass = 0;
+        b.aliasClass = 0;
+    }
+    LoopNest nest;
+    nest.domainBuf = 1;
+    BodyBuilder b(nest.body);
+    b.store(1, b.binary(Op::Add, b.load(0), b.constant(1.0)));
+    fn.nests.push_back(std::move(nest));
+
+    const coord_t n = 700;
+    std::vector<double> ref(n + 1), vec(n + 1);
+    fill(ref, 11);
+    vec = ref;
+
+    auto makeBinds = [&](std::vector<double> &alloc) {
+        BufferBinding in; // elements [1, n]
+        in.base = alloc.data() + 1;
+        in.dims = 1;
+        in.extent[0] = n;
+        in.stride[0] = 1;
+        BufferBinding out = in; // elements [0, n): overlaps, shifted
+        out.base = alloc.data();
+        return std::vector<BufferBinding>{in, out};
+    };
+
+    Executor ex;
+    ex.runScalar(fn, makeBinds(ref), {});
+    for (int w : kStrips) {
+        std::vector<double> probe(vec);
+        ExecutablePlan plan = lowerPlan(fn, w);
+        ex.run(fn, plan, makeBinds(probe), {});
+        EXPECT_TRUE(bitEqual(probe, ref)) << "strip " << w;
+    }
+}
+
+TEST(VectorExecutor, IdenticalAliasedViewsStayExact)
+{
+    // In-place update: the load and store bind the IDENTICAL view
+    // (alias class 0). Same-index accesses are vector-safe; results
+    // must match the oracle bitwise.
+    KernelFunction fn;
+    fn.name = "inplace";
+    fn.numArgs = 2;
+    fn.buffers.resize(2);
+    for (auto &b : fn.buffers) {
+        b.dims = 1;
+        b.shapeClass = 0;
+        b.aliasClass = 0;
+    }
+    LoopNest nest;
+    nest.domainBuf = 1;
+    BodyBuilder b(nest.body);
+    b.store(1, b.binary(Op::Mul, b.load(0), b.constant(1.5)));
+    fn.nests.push_back(std::move(nest));
+
+    const coord_t n = 513;
+    std::vector<double> ref(n), vec(n);
+    fill(ref, 12);
+    vec = ref;
+
+    Executor ex;
+    {
+        std::vector<BufferBinding> binds{bindVec(ref), bindVec(ref)};
+        ex.runScalar(fn, binds, {});
+    }
+    for (int w : kStrips) {
+        std::vector<double> probe(vec);
+        std::vector<BufferBinding> binds{bindVec(probe), bindVec(probe)};
+        ExecutablePlan plan = lowerPlan(fn, w);
+        ex.run(fn, plan, binds, {});
+        EXPECT_TRUE(bitEqual(probe, ref)) << "strip " << w;
+    }
+}
+
+TEST(VectorExecutor, BroadcastStoreTargetKeepsLastWriteWins)
+{
+    // Storing through an extent-1 buffer from a size-n domain: every
+    // element writes the same address and the scalar semantics are
+    // last-write-wins. The vector engine must fall back and agree.
+    KernelFunction fn;
+    fn.name = "bcast_store";
+    fn.numArgs = 2;
+    fn.buffers.resize(2);
+    fn.buffers[0].dims = 1;
+    fn.buffers[0].shapeClass = 0;
+    fn.buffers[1].dims = 1;
+    fn.buffers[1].shapeClass = 1;
+    LoopNest nest;
+    nest.domainBuf = 0;
+    BodyBuilder b(nest.body);
+    b.store(1, b.load(0));
+    fn.nests.push_back(std::move(nest));
+
+    const coord_t n = 259;
+    std::vector<double> in(n);
+    fill(in, 13);
+    std::vector<double> ref{0.0}, vec{0.0};
+
+    Executor ex;
+    {
+        std::vector<BufferBinding> binds{bindVec(in), bindVec(ref)};
+        ex.runScalar(fn, binds, {});
+    }
+    for (int w : kStrips) {
+        vec[0] = 0.0;
+        std::vector<BufferBinding> binds{bindVec(in), bindVec(vec)};
+        ExecutablePlan plan = lowerPlan(fn, w);
+        ex.run(fn, plan, binds, {});
+        EXPECT_TRUE(bitEqual(vec, ref)) << "strip " << w;
+    }
+}
+
+TEST(VectorExecutor, MultiNestLocalTemporaryPipeline)
+{
+    // Two nests through a task-local temporary, exercising the arena
+    // and inter-nest ordering: local = a + b; out = local * local.
+    KernelFunction fn;
+    fn.name = "two_nests";
+    fn.numArgs = 3;
+    fn.buffers.resize(3);
+    for (auto &b : fn.buffers) {
+        b.dims = 1;
+        b.shapeClass = 0;
+    }
+    int tmp = fn.addLocal(1, 0);
+    {
+        LoopNest nest;
+        nest.domainBuf = 0;
+        BodyBuilder b(nest.body);
+        b.store(tmp, b.binary(Op::Add, b.load(0), b.load(1)));
+        fn.nests.push_back(std::move(nest));
+    }
+    {
+        LoopNest nest;
+        nest.domainBuf = 2;
+        BodyBuilder b(nest.body);
+        int t = b.load(tmp);
+        b.store(2, b.binary(Op::Mul, t, t));
+        fn.nests.push_back(std::move(nest));
+    }
+
+    const coord_t n = 301;
+    std::vector<double> a(n), c(n), out(n, 0.0);
+    fill(a, 14);
+    fill(c, 15);
+    std::vector<BufferBinding> binds{bindVec(a), bindVec(c),
+                                     bindVec(out)};
+    expectDifferentialMatch(fn, binds, out, {},
+                            std::vector<double>(n, 0.0));
+}
+
+TEST(VectorExecutor, GemvMatchesOracleUnitAndNonUnitStride)
+{
+    KernelFunction fn;
+    fn.name = "gemv";
+    fn.numArgs = 3;
+    fn.buffers.resize(3);
+    fn.buffers[0].dims = 2;
+    fn.buffers[0].shapeClass = 0;
+    fn.buffers[1].dims = 1;
+    fn.buffers[1].shapeClass = 1;
+    fn.buffers[2].dims = 1;
+    fn.buffers[2].shapeClass = 2;
+    LoopNest nest;
+    nest.kind = NestKind::Gemv;
+    nest.gemvA = 0;
+    nest.gemvX = 1;
+    nest.gemvY = 2;
+    nest.domainBuf = 0;
+    fn.nests.push_back(std::move(nest));
+
+    const coord_t rows = 37, cols = 41;
+    std::vector<double> a(rows * cols), x2(2 * cols), y(rows, 0.0);
+    fill(a, 16);
+    fill(x2, 17);
+
+    BufferBinding ba;
+    ba.base = a.data();
+    ba.dims = 2;
+    ba.extent[0] = rows;
+    ba.extent[1] = cols;
+    ba.stride[0] = cols;
+    ba.stride[1] = 1;
+    BufferBinding by = bindVec(y);
+
+    for (coord_t xs : {coord_t(1), coord_t(2)}) {
+        BufferBinding bx = bindVec(x2);
+        bx.extent[0] = cols;
+        bx.stride[0] = xs;
+        Executor ex;
+        std::vector<double> ref(rows, 0.0), vec(rows, 0.0);
+        by.base = ref.data();
+        std::vector<BufferBinding> rbinds{ba, bx, by};
+        ex.runScalar(fn, rbinds, {});
+        ExecutablePlan plan = lowerPlan(fn);
+        by.base = vec.data();
+        std::vector<BufferBinding> vbinds{ba, bx, by};
+        ex.run(fn, plan, vbinds, {});
+        EXPECT_TRUE(bitEqual(vec, ref)) << "x stride " << xs;
+    }
+}
+
+TEST(VectorExecutor, CsrMatchesOracle)
+{
+    KernelFunction fn;
+    fn.name = "csr";
+    fn.numArgs = 5;
+    fn.buffers.resize(5);
+    for (auto &b : fn.buffers) {
+        b.dims = 1;
+        b.shapeClass = 0;
+    }
+    fn.buffers[0].dtype = DType::I64;
+    fn.buffers[1].dtype = DType::I32;
+    LoopNest nest;
+    nest.kind = NestKind::Csr;
+    nest.csrRowptr = 0;
+    nest.csrColind = 1;
+    nest.csrVals = 2;
+    nest.csrX = 3;
+    nest.csrY = 4;
+    nest.domainBuf = 4;
+    fn.nests.push_back(std::move(nest));
+
+    // 4-row sparse matrix.
+    std::vector<std::int64_t> rowptr{0, 2, 3, 3, 6};
+    std::vector<std::int32_t> colind{0, 2, 1, 0, 1, 3};
+    std::vector<double> vals{1.5, -2.0, 3.25, 0.5, -1.0, 4.0};
+    std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+
+    auto makeBinds = [&](std::vector<double> &y) {
+        BufferBinding brp;
+        brp.base = rowptr.data();
+        brp.dtype = DType::I64;
+        brp.extent[0] = 5;
+        brp.stride[0] = 1;
+        BufferBinding bci;
+        bci.base = colind.data();
+        bci.dtype = DType::I32;
+        bci.extent[0] = 6;
+        bci.stride[0] = 1;
+        BufferBinding bv = bindVec(vals);
+        BufferBinding bx = bindVec(x);
+        BufferBinding by = bindVec(y);
+        return std::vector<BufferBinding>{brp, bci, bv, bx, by};
+    };
+
+    Executor ex;
+    std::vector<double> ref(4, 0.0), vec(4, 0.0);
+    ex.runScalar(fn, makeBinds(ref), {});
+    ExecutablePlan plan = lowerPlan(fn);
+    ex.run(fn, plan, makeBinds(vec), {});
+    EXPECT_TRUE(bitEqual(vec, ref));
+}
+
+TEST(Plan, LoweringHoistsInvariantsAndClassifiesAccesses)
+{
+    KernelFunction fn = makeEveryOpKernel(1);
+    ExecutablePlan plan = lowerPlan(fn, 64);
+    ASSERT_EQ(plan.nests.size(), 1u);
+    const DensePlan &dp = plan.nests[0].dense;
+    // Every Const/LoadScalar is strength-reduced into immediate-form
+    // tape ops, so no splats survive and no tape instruction
+    // re-dispatches constants or scalars.
+    EXPECT_TRUE(dp.invariants.empty());
+    bool saw_kform = false;
+    for (const VecInstr &ins : dp.tape) {
+        EXPECT_NE(ins.op, VecOp::Splat);
+        if (ins.op == VecOp::SubK || ins.op == VecOp::MulK ||
+            ins.op == VecOp::DivK || ins.op == VecOp::PowK)
+            saw_kform = true;
+    }
+    EXPECT_TRUE(saw_kform);
+    // Two loads and one store become access sites.
+    ASSERT_EQ(dp.accesses.size(), 3u);
+    EXPECT_FALSE(dp.accesses[0].isStore);
+    EXPECT_TRUE(dp.accesses[2].isStore);
+    EXPECT_EQ(dp.loadBufs.size(), 2u);
+    EXPECT_EQ(dp.storeBufs.size(), 1u);
+    EXPECT_EQ(plan.stripWidth, 64);
+    EXPECT_GT(dp.flopsPerElem, 0.0);
+    // Slot reuse keeps the register file far below the SSA count.
+    EXPECT_LT(dp.regCount, registerCount(fn.nests[0].body));
+}
+
+TEST(Plan, CostMetadataMatchesIrWalk)
+{
+    KernelFunction fn = makeEveryOpKernel(1);
+    std::vector<double> a(64), b(64), out(64);
+    std::vector<BufferBinding> binds{bindVec(a), bindVec(b),
+                                     bindVec(out)};
+    TaskCost ir = profileCost(fn, binds);
+    CompiledKernel kernel;
+    kernel.fn = fn;
+    kernel.plan = std::make_shared<const ExecutablePlan>(lowerPlan(fn));
+    TaskCost planned = profileCost(kernel, binds);
+    EXPECT_DOUBLE_EQ(planned.bytes, ir.bytes);
+    EXPECT_DOUBLE_EQ(planned.wflops, ir.wflops);
+    EXPECT_EQ(planned.elements, ir.elements);
+}
+
+} // namespace
+} // namespace kir
+} // namespace diffuse
