@@ -15,6 +15,22 @@ main()
     const coord_t rows_per_gpu = coord_t(1) << 26;
     const int levels = 4;
 
+    // Measured data movement across the V-cycle's level hierarchy
+    // (restriction/prolongation gathers at every level).
+    printMeasuredExchange("Fig 12a", [&](DiffuseRuntime &rt, int) {
+        auto ctx = std::make_shared<num::Context>(rt);
+        auto sctx = std::make_shared<sp::SparseContext>(*ctx);
+        auto sol =
+            std::make_shared<solvers::SolverContext>(*ctx, *sctx);
+        auto hier = std::make_shared<solvers::GmgHierarchy>(
+            sol->buildHierarchy1d(4096, levels));
+        auto b = std::make_shared<num::NDArray>(ctx->zeros(4096, 1.0));
+        rt.flushWindow();
+        return [ctx, sctx, sol, hier, b] { sol->gmgPcg(*hier, *b, 1); };
+    });
+    if (smokeMode())
+        return 0;
+
     sweepFusedUnfused(
         "Fig 12a", "GMG (V-cycle PCG) weak scaling (higher is better)",
         [&](DiffuseRuntime &rt, int gpus) {

@@ -17,6 +17,7 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace diffuse {
 
@@ -288,6 +289,39 @@ class PointIterator
     bool valid_;
 };
 
+/**
+ * Row-major strides of a 1-D/2-D rectangle used as a buffer (store
+ * allocations and shard buffers share this layout). Trailing entries
+ * are zero; higher dimensionalities are not bufferable.
+ */
+inline bool
+rowMajorStrides(const Rect &r, coord_t strides[2])
+{
+    strides[0] = strides[1] = 0;
+    if (r.dim() == 1) {
+        strides[0] = 1;
+        return true;
+    }
+    if (r.dim() == 2) {
+        strides[1] = 1;
+        strides[0] = r.hi[1] - r.lo[1];
+        return true;
+    }
+    return false;
+}
+
+/** Element offset of `p` within buffer rectangle `r` (row-major). */
+inline coord_t
+rowMajorOffset(const Rect &r, const Point &p)
+{
+    coord_t strides[2];
+    rowMajorStrides(r, strides);
+    coord_t off = 0;
+    for (int i = 0; i < r.dim(); i++)
+        off += (p[i] - r.lo[i]) * strides[i];
+    return off;
+}
+
 /** Row-major linearization of a point within a rectangle. */
 inline coord_t
 linearize(const Rect &r, const Point &p)
@@ -309,6 +343,40 @@ delinearize(const Rect &r, coord_t idx)
         idx /= ext;
     }
     return p;
+}
+
+/**
+ * Subtract `b` from `a`: append to `out` up to 2*dim disjoint
+ * rectangles covering exactly a \ b. Appends `a` itself when the two
+ * are disjoint; appends nothing when b covers a.
+ */
+inline void
+rectSubtract(const Rect &a, const Rect &b, std::vector<Rect> &out)
+{
+    if (a.empty())
+        return;
+    Rect overlap = a.intersect(b);
+    if (overlap.empty()) {
+        out.push_back(a);
+        return;
+    }
+    // Peel one axis-aligned slab per face of the overlap; `rest`
+    // shrinks to the overlap itself, which is discarded.
+    Rect rest = a;
+    for (int i = 0; i < a.dim(); i++) {
+        if (rest.lo[i] < overlap.lo[i]) {
+            Rect slab = rest;
+            slab.hi[i] = overlap.lo[i];
+            out.push_back(slab);
+            rest.lo[i] = overlap.lo[i];
+        }
+        if (overlap.hi[i] < rest.hi[i]) {
+            Rect slab = rest;
+            slab.lo[i] = overlap.hi[i];
+            out.push_back(slab);
+            rest.hi[i] = overlap.hi[i];
+        }
+    }
 }
 
 /** Combine hashes, boost-style. */

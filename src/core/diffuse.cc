@@ -8,7 +8,8 @@ namespace diffuse {
 
 DiffuseRuntime::DiffuseRuntime(const rt::MachineConfig &machine,
                                DiffuseOptions options)
-    : options_(options), low_(machine, options.mode, options.workers),
+    : options_(options),
+      low_(machine, options.mode, options.workers, options.ranks),
       planner_(registry_, compiler_, stores_,
                PlannerOptions{options.tempElimination,
                               options.kernelOptimization}),

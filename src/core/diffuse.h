@@ -58,6 +58,14 @@ struct DiffuseOptions
      * Results are bit-identical for every worker count.
      */
     int workers = 0;
+    /**
+     * Distributed-memory shards (ranks). 1 executes against a single
+     * shared allocation (the historical path); > 1 materializes
+     * per-rank shard buffers and explicit, measured exchange (Copy)
+     * tasks. <= 0 reads DIFFUSE_RANKS (default 1). Results are
+     * bit-identical for every rank count.
+     */
+    int ranks = 0;
 };
 
 /** Counters describing fusion behaviour. */

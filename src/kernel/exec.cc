@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <unordered_set>
 
+#include "common/env.h"
 #include "common/fastmath.h"
 #include "common/logging.h"
 #include "kernel/compiler.h"
@@ -972,14 +973,7 @@ Executor::runCsr(const LoopNest &nest,
 int
 WorkerPool::defaultWorkers()
 {
-    const char *env = std::getenv("DIFFUSE_WORKERS");
-    if (env != nullptr) {
-        int n = std::atoi(env);
-        if (n >= 1)
-            return n;
-        diffuse_warn("ignoring DIFFUSE_WORKERS=%s", env);
-    }
-    return 1;
+    return envInt("DIFFUSE_WORKERS", 1, 1, 1024);
 }
 
 WorkerPool::WorkerPool(int workers)

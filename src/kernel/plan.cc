@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace diffuse {
@@ -12,14 +13,7 @@ namespace kir {
 int
 defaultStripWidth()
 {
-    const char *env = std::getenv("DIFFUSE_STRIP");
-    if (env != nullptr) {
-        int w = std::atoi(env);
-        if (w >= 1)
-            return std::min(w, 65536);
-        diffuse_warn("ignoring DIFFUSE_STRIP=%s", env);
-    }
-    return 256;
+    return envInt("DIFFUSE_STRIP", 256, 1, 65536);
 }
 
 namespace {

@@ -21,6 +21,9 @@
 namespace diffuse {
 namespace rt {
 
+/** Whether point tasks actually execute or only the cost model runs. */
+enum class ExecutionMode { Real, Simulated };
+
 /** Hardware and runtime-overhead parameters of the simulated machine. */
 struct MachineConfig
 {
@@ -67,6 +70,18 @@ struct MachineConfig
     runtimeOverhead() const
     {
         return runtimeBaseOverhead + runtimeScaleOverhead * logNodes();
+    }
+
+    /**
+     * Seconds to move `bytes` over one point-to-point link: NVLink
+     * within a node, InfiniBand across nodes. This is what measured
+     * exchange (Copy) tasks are charged.
+     */
+    double
+    linkSeconds(double bytes, bool inter_node) const
+    {
+        return inter_node ? ibLatency + bytes / ibBandwidth
+                          : nvlinkLatency + bytes / nvlinkBandwidth;
     }
 
     /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace diffuse {
@@ -13,31 +14,13 @@ namespace {
 /** Reserved layout key: valid everywhere. */
 constexpr std::uint64_t REPLICATED_LAYOUT = 1;
 
-/** Row-major strides of a store shape. */
+/** rowMajorStrides with the store-layer failure message. */
 void
 storeStrides(const Rect &shape, coord_t strides[2])
 {
-    int d = shape.dim();
-    strides[0] = strides[1] = 0;
-    if (d == 1) {
-        strides[0] = 1;
-    } else if (d == 2) {
-        strides[1] = 1;
-        strides[0] = shape.hi[1] - shape.lo[1];
-    } else {
-        diffuse_panic("stores must be 1-D or 2-D, got %d-D", d);
-    }
-}
-
-coord_t
-linearOffset(const Rect &shape, const Point &p)
-{
-    coord_t strides[2];
-    storeStrides(shape, strides);
-    coord_t off = 0;
-    for (int i = 0; i < shape.dim(); i++)
-        off += (p[i] - shape.lo[i]) * strides[i];
-    return off;
+    if (!rowMajorStrides(shape, strides))
+        diffuse_panic("stores must be 1-D or 2-D, got %d-D",
+                      shape.dim());
 }
 
 /** Do the pieces of two accesses overlap across distinct points? */
@@ -60,12 +43,15 @@ crossPointOverlap(const std::vector<Rect> &a, const std::vector<Rect> &b)
 } // namespace
 
 LowRuntime::LowRuntime(const MachineConfig &machine, ExecutionMode mode,
-                       int workers)
+                       int workers, int ranks)
     : machine_(machine), mode_(mode),
       // Simulated mode never runs point tasks: no worker threads.
       pool_(mode == ExecutionMode::Simulated ? 1 : workers),
       executors_(std::size_t(pool_.workers())),
-      workerBindings_(std::size_t(pool_.workers())), stream_(machine)
+      workerBindings_(std::size_t(pool_.workers())),
+      shards_(mode,
+              ranks > 0 ? ranks : envInt("DIFFUSE_RANKS", 1, 1, 4096)),
+      stream_(machine)
 {
     stream_.setExecuteFn(
         [this](const LaunchedTask &task) { executeRetired(task); });
@@ -81,6 +67,7 @@ LowRuntime::createStore(const Point &shape, DType dtype, double init)
     store.shape = Rect::fromShape(shape);
     store.dtype = dtype;
     store.init = init;
+    shards_.onStoreCreated(id, store.shape, dtype);
     stores_.emplace(id, std::move(store));
     return id;
 }
@@ -165,6 +152,7 @@ LowRuntime::destroyStore(StoreId id)
     }
     recycleAllocation(it->second);
     stores_.erase(it);
+    shards_.onStoreDestroyed(id);
     stream_.forgetStore(id);
 }
 
@@ -215,6 +203,11 @@ LowRuntime::dataF64(StoreId id)
     ensureAllocated(r);
     diffuse_assert(!r.data.empty(), "store %llu has no allocation "
                    "(Simulated mode?)", (unsigned long long)id);
+    // Host readback/write-through: pull every shard-resident
+    // rectangle into the canonical allocation, then treat the mutable
+    // pointer as a host write (the canonical copy becomes the owner).
+    shards_.gatherToCanonical(id, r.data.data());
+    shards_.onHostWrite(id);
     return reinterpret_cast<double *>(r.data.data());
 }
 
@@ -226,6 +219,8 @@ LowRuntime::dataI32(StoreId id)
     diffuse_assert(r.dtype == DType::I32, "store %llu is not i32",
                    (unsigned long long)id);
     ensureAllocated(r);
+    shards_.gatherToCanonical(id, r.data.data());
+    shards_.onHostWrite(id);
     return reinterpret_cast<std::int32_t *>(r.data.data());
 }
 
@@ -237,6 +232,8 @@ LowRuntime::dataI64(StoreId id)
     diffuse_assert(r.dtype == DType::I64, "store %llu is not i64",
                    (unsigned long long)id);
     ensureAllocated(r);
+    shards_.gatherToCanonical(id, r.data.data());
+    shards_.onHostWrite(id);
     return reinterpret_cast<std::int64_t *>(r.data.data());
 }
 
@@ -248,6 +245,7 @@ LowRuntime::markInitialized(StoreId id)
     r.replicatedValid = true;
     r.lastWriteLayout = 0;
     r.lastWritePieces.clear();
+    shards_.onHostWrite(id);
 }
 
 ImageId
@@ -317,7 +315,8 @@ LowRuntime::buildBindings(const LaunchedTask &task, int p,
 {
     out.clear();
     out.reserve(task.args.size());
-    for (const LowArg &arg : task.args) {
+    for (std::size_t i = 0; i < task.args.size(); i++) {
+        const LowArg &arg = task.args[i];
         StoreRec &store = rec(arg.store);
         kir::BufferBinding b;
         b.dtype = store.dtype;
@@ -327,17 +326,37 @@ LowRuntime::buildBindings(const LaunchedTask &task, int p,
         Point ext = piece.extent();
         b.extent[0] = b.dims >= 1 ? std::max<coord_t>(ext[0], 0) : 1;
         b.extent[1] = b.dims == 2 ? std::max<coord_t>(ext[1], 0) : 1;
+        if (!arg.irregular.empty())
+            b.irregular = arg.irregular[std::size_t(p)];
+        // Shard-bound pieces view the rank's shard buffer: the row
+        // pitch is the shard's, not the store's — the executor's
+        // access classification (contiguous/strided/broadcast)
+        // handles the difference. An empty piece binds nothing (the
+        // kernel iterates zero elements); it must not fall through
+        // and materialize the canonical allocation.
+        bool shard_bound =
+            i < task.argCanonical.size() && !task.argCanonical[i];
+        if (shard_bound) {
+            if (!piece.empty()) {
+                ShardView view = shards_.shardView(arg.store, p, piece,
+                                                   with_pointers);
+                b.stride[0] = view.stride[0];
+                b.stride[1] = view.stride[1];
+                if (with_pointers)
+                    b.base = view.base;
+            }
+            out.push_back(b);
+            continue;
+        }
         coord_t strides[2];
         storeStrides(store.shape, strides);
         b.stride[0] = strides[0];
         b.stride[1] = strides[1];
-        if (!arg.irregular.empty())
-            b.irregular = arg.irregular[std::size_t(p)];
         if (with_pointers) {
             ensureAllocated(store);
             std::byte *base = store.data.data();
             coord_t off =
-                arg.absolute ? 0 : linearOffset(store.shape, piece.lo);
+                arg.absolute ? 0 : rowMajorOffset(store.shape, piece.lo);
             b.base = base + off * dtypeSize(store.dtype);
         }
         out.push_back(b);
@@ -412,19 +431,32 @@ LowRuntime::submit(LaunchedTask task)
     stats_.indexTasks++;
     stats_.pointTasks += std::uint64_t(task.numPoints);
 
+    // Sharded execution: decide per-argument bindings, evolve the
+    // placement map in program order, and submit the exchanges this
+    // task needs as hazard-tracked Copy tasks *before* the task
+    // itself, so RAW/WAR edges order data movement against compute.
+    if (shards_.active()) {
+        std::vector<CopyDesc> copies;
+        shards_.planTask(task, copies);
+        for (const CopyDesc &c : copies)
+            submitCopy(c);
+    }
+
     TaskTiming timing;
     timing.analysisSeconds = machine_.runtimeOverhead();
     timing.pointSeconds.resize(std::size_t(task.numPoints));
 
     // Per-point cost: incoming communication, launch, compute. The
-    // index task completes when its slowest point task does.
+    // index task completes when its slowest point task does. With
+    // sharding active, communication is carried by the measured Copy
+    // tasks instead of the analytic per-point model.
     double max_point_seconds = 0.0;
     double comm_at_max = 0.0, compute_at_max = 0.0;
     std::vector<kir::BufferBinding> &bindings = workerBindings_[0];
     for (int p = 0; p < task.numPoints; p++) {
         double comm = 0.0;
         for (const LowArg &arg : task.args) {
-            if (privReads(arg.priv))
+            if (privReads(arg.priv) && !shards_.active())
                 comm += commSecondsFor(arg, rec(arg.store), p,
                                        task.numPoints);
         }
@@ -516,6 +548,51 @@ LowRuntime::submit(LaunchedTask task)
 }
 
 void
+LowRuntime::submitCopy(const CopyDesc &c)
+{
+    LaunchedTask t;
+    t.kind = TaskKind::Copy;
+    t.copy = c;
+    t.numPoints = 1;
+    t.name = "exchange";
+    // The moved rectangle enters the hazard machinery as a ReadWrite
+    // access: RAW orders the copy after the producer of the data, the
+    // consumer's read orders after the copy, and a later writer WARs
+    // against it — exactly the compute-task rules.
+    LowArg a;
+    a.store = c.store;
+    a.priv = Privilege::ReadWrite;
+    a.pieces = {c.rect};
+    t.args.push_back(std::move(a));
+
+    int nprocs = machine_.totalGpus();
+    // Gathers (dstRank < 0) land on the canonical copy's root.
+    int dst_proc = (c.dstRank >= 0 ? c.dstRank : 0) % nprocs;
+    t.procHint = dst_proc;
+
+    TaskTiming timing;
+    double seconds = 0.0;
+    if (c.srcRank >= 0) {
+        // Charged: the data crosses a link. Pulls from the canonical
+        // copy (srcRank < 0) are free — that data is resident
+        // everywhere (initialization, post-collective broadcast).
+        bool inter = machine_.nodeOf(c.srcRank % nprocs) !=
+                     machine_.nodeOf(dst_proc);
+        seconds = machine_.linkSeconds(c.bytes, inter);
+        if (inter)
+            stats_.bytesInterNode += c.bytes;
+        else
+            stats_.bytesIntraNode += c.bytes;
+        stats_.exchangeBytes += c.bytes;
+        stats_.commTime += seconds;
+    }
+    timing.pointSeconds = {seconds};
+    stats_.copyTasks++;
+    rec(c.store).pendingUses++;
+    stream_.submit(std::move(t), std::move(timing));
+}
+
+void
 LowRuntime::wait(EventId id)
 {
     stream_.wait(id);
@@ -538,6 +615,18 @@ LowRuntime::executeRetired(const LaunchedTask &task)
 {
     if (mode_ != ExecutionMode::Real)
         return;
+    if (task.kind == TaskKind::Copy) {
+        // Exchanges move bytes verbatim between shard buffers and/or
+        // the canonical allocation.
+        std::byte *canonical = nullptr;
+        if (task.copy.srcRank < 0 || task.copy.dstRank < 0) {
+            StoreRec &r = rec(task.copy.store);
+            ensureAllocated(r);
+            canonical = r.data.data();
+        }
+        shards_.executeCopy(task.copy, canonical);
+        return;
+    }
     const kir::KernelFunction &fn = task.kernel->fn;
     const bool scalar_oracle = kir::Executor::scalarForced();
 
@@ -546,7 +635,12 @@ LowRuntime::executeRetired(const LaunchedTask &task)
     // whose first-ever use is a fully-covering write (and which no
     // argument of this task reads or reduces) skips the init fill —
     // the kernel overwrites every element before anything can read.
-    for (const LowArg &arg : task.args) {
+    // Shard-bound arguments never touch the canonical allocation;
+    // their buffers were materialized by the exchange planner.
+    for (std::size_t i = 0; i < task.args.size(); i++) {
+        const LowArg &arg = task.args[i];
+        if (i < task.argCanonical.size() && !task.argCanonical[i])
+            continue;
         StoreRec &r = rec(arg.store);
         if (!r.data.empty())
             continue;
@@ -751,6 +845,7 @@ LowRuntime::finishRetired(const LaunchedTask &task)
             zombies_--;
             recycleAllocation(r);
             stores_.erase(it);
+            shards_.onStoreDestroyed(sid);
             stream_.forgetStore(sid);
         }
     }
@@ -765,6 +860,9 @@ LowRuntime::readScalarValue(StoreId id)
         return 0.0;
     diffuse_assert(r.dtype == DType::F64, "scalar read of non-f64");
     ensureAllocated(r);
+    // Scalar stores are written replicated (canonical) in practice,
+    // but a sharded write is legal: gather before reading.
+    shards_.gatherToCanonical(id, r.data.data());
     return *reinterpret_cast<const double *>(r.data.data());
 }
 

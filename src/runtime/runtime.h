@@ -22,7 +22,11 @@
  * WorkerPool splits strip ranges — not raw points — with a
  * deterministic reduction merge, so numerics are bit-identical for
  * any worker count (DIFFUSE_SCALAR_EXEC=1 selects the scalar oracle
- * instead). In Simulated mode only the cost model advances. Both modes account
+ * instead). With DIFFUSE_RANKS > 1 execution is sharded across
+ * distributed-memory ranks: stores live in per-rank shard buffers and
+ * explicit, hazard-tracked Copy tasks move exactly the rectangles a
+ * task needs (see runtime/shard.h) — results stay bit-identical to
+ * ranks=1. In Simulated mode only the cost model advances. Both modes account
  * identical simulated time: the critical path through the task graph
  * on per-processor timelines, not the serialized sum of task
  * latencies.
@@ -43,13 +47,11 @@
 #include "kernel/compiler.h"
 #include "kernel/exec.h"
 #include "runtime/machine.h"
+#include "runtime/shard.h"
 #include "runtime/task_stream.h"
 
 namespace diffuse {
 namespace rt {
-
-/** Whether point tasks actually execute or only the cost model runs. */
-enum class ExecutionMode { Real, Simulated };
 
 /** Counters accumulated by the runtime. */
 struct RuntimeStats
@@ -81,6 +83,14 @@ struct RuntimeStats
     /** Stores that actually materialized an allocation (lazy). */
     std::uint64_t storesMaterialized = 0;
     double bytesMaterialized = 0.0;
+    /**
+     * Measured exchange volume (ranks > 1): bytes moved by charged
+     * Copy tasks — rank-to-rank pulls and gathers into the canonical
+     * copy. Exactly 0 when ranks == 1 (no exchanges exist).
+     */
+    double exchangeBytes = 0.0;
+    /** Copy tasks submitted to the stream (including free pulls). */
+    std::uint64_t copyTasks = 0;
 
     void reset() { *this = RuntimeStats(); }
 };
@@ -109,9 +119,13 @@ class LowRuntime
     /**
      * @param workers Point-task worker threads; <= 0 reads
      *        DIFFUSE_WORKERS from the environment (default 1).
+     * @param ranks Distributed-memory shards; <= 0 reads
+     *        DIFFUSE_RANKS from the environment (default 1 — the
+     *        single-allocation path). Results are bit-identical for
+     *        every rank count.
      */
     LowRuntime(const MachineConfig &machine, ExecutionMode mode,
-               int workers = 0);
+               int workers = 0, int ranks = 0);
 
     /**
      * Create a store. In Real mode the allocation is host memory
@@ -182,6 +196,8 @@ class LowRuntime
     const RuntimeStats &stats() const { return stats_; }
     const StreamStats &streamStats() const { return stream_.stats(); }
     int workers() const { return pool_.workers(); }
+    int ranks() const { return shards_.ranks(); }
+    const ShardManager &shards() const { return shards_; }
 
     /** Live store count, excluding zombies (leak checks in tests). */
     std::size_t liveStores() const { return stores_.size() - zombies_; }
@@ -243,9 +259,14 @@ class LowRuntime
     static bool writeCoversStore(const LowArg &arg,
                                  const StoreRec &store);
 
-    /** Point-to-point communication seconds for point `p` of `arg`. */
+    /** Point-to-point communication seconds for point `p` of `arg`
+     * (the analytic model; ranks == 1 only — sharded execution
+     * charges the measured Copy tasks instead). */
     double commSecondsFor(const LowArg &arg, const StoreRec &store,
                           int p, int num_points);
+
+    /** Submit one planned exchange as a Copy task (hazard-tracked). */
+    void submitCopy(const CopyDesc &c);
 
     /** Build executor bindings for point `p`. */
     void buildBindings(const LaunchedTask &task, int p,
@@ -306,6 +327,8 @@ class LowRuntime
     /** Identifies strip dispatches so workers splat loop invariants
      * into their register files exactly once per dispatch. */
     std::uint64_t stripEpoch_ = 0;
+    /** Per-rank shard buffers and exchange planning (ranks > 1). */
+    ShardManager shards_;
     TaskStream stream_;
     /** Stream clocks at the previous submit (stats are deltas so
      * RuntimeStats::reset() keeps working). */

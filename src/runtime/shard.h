@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Sharded distributed-memory execution (the "ranks" model).
+ *
+ * With DIFFUSE_RANKS > 1 the runtime stops executing every point task
+ * against one shared allocation and instead materializes *per-rank
+ * shard buffers*: launch-domain point p maps to rank p % ranks, and a
+ * store's data lives wherever the last task wrote it — one rectangle
+ * per writing point, in that point's rank's shard. Before a task can
+ * run, every piece it reads must be resident in its rank's shard; the
+ * ShardManager plans exactly which rectangles must be pulled from
+ * which owner (constant-time structured intersection via ownersOf()
+ * when the owner layout is a Tiling) and emits them as Copy tasks,
+ * which the runtime schedules through the TaskStream under the same
+ * RAW/WAR/WAW hazard machinery as compute tasks.
+ *
+ * This is legion-mini's analogue of Legion's instance mapping +
+ * copy-materialization: the paper's fused-vs-unfused communication
+ * volumes (Figures 10-12) become *measured* quantities — every copy
+ * carries its byte count, split NVLink/IB by the rank -> node map —
+ * instead of analytic guesses.
+ *
+ * Placement model ("who holds what"): for every element of a store,
+ * the newest value is held by exactly one owner — either one rank's
+ * shard (tracked as a disjoint valid-rectangle list per rank) or the
+ * canonical host-replicated copy (valid-rectangle list `hostValid`).
+ * Pulled ghost copies are additionally valid at their destination
+ * until an overlapping write invalidates them everywhere else.
+ * Pulls from the canonical copy are free (that data is resident on
+ * every rank: initialization and post-collective broadcast results);
+ * rank-to-rank pulls and gathers into the canonical copy are charged.
+ *
+ * Bitwise fidelity: copies move bytes verbatim and kernels run over
+ * the same values in the same order as the single-allocation path.
+ * Tasks whose cross-point aliasing makes the sequential point order
+ * observable through the shared allocation (a written piece of one
+ * point overlapping another point's accesses) fall back to binding
+ * the canonical allocation, so ranks=4 stays bit-identical to
+ * ranks=1. The fusion-equivalence fuzzer locks this in.
+ */
+
+#ifndef DIFFUSE_RUNTIME_SHARD_H
+#define DIFFUSE_RUNTIME_SHARD_H
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/types.h"
+#include "runtime/machine.h"
+#include "runtime/task_stream.h"
+
+namespace diffuse {
+namespace rt {
+
+/**
+ * Counters maintained by the shard manager. Byte volumes live in
+ * RuntimeStats::exchangeBytes (one accounting site: submitCopy).
+ */
+struct ShardStats
+{
+    std::uint64_t copiesPlanned = 0; ///< rank-to-rank pulls
+    std::uint64_t gathersPlanned = 0; ///< shard -> canonical pulls
+    std::uint64_t hostPulls = 0;      ///< canonical -> shard (free)
+
+    void reset() { *this = ShardStats(); }
+};
+
+/** A resolved view of one piece inside a rank's shard buffer. */
+struct ShardView
+{
+    std::byte *base = nullptr; ///< piece origin (null without pointers)
+    coord_t stride[2] = {0, 0}; ///< row/element strides (elements)
+};
+
+/**
+ * Owns per-rank shard buffers and the placement map of every store;
+ * plans exchanges at submission (program order) and executes retired
+ * Copy tasks. Inactive (transparent) when ranks == 1.
+ */
+class ShardManager
+{
+  public:
+    ShardManager(ExecutionMode mode, int ranks);
+
+    int ranks() const { return ranks_; }
+    bool active() const { return ranks_ > 1; }
+    /** Launch-domain point to rank mapping. */
+    int rankOf(int point) const { return point % ranks_; }
+
+    void onStoreCreated(StoreId id, const Rect &shape, DType dtype);
+    void onStoreDestroyed(StoreId id);
+
+    /**
+     * The host wrote the canonical copy (markInitialized, mutable
+     * data pointers): the canonical copy becomes the sole owner of
+     * everything.
+     */
+    void onHostWrite(StoreId id);
+
+    /**
+     * Plan the exchanges `task` needs before it can run, appending
+     * one CopyDesc per moved rectangle, and decide per argument
+     * whether it binds a shard or the canonical allocation
+     * (task.argCanonical). Runs at submission so the placement map
+     * evolves in program order; the emitted copies must be submitted
+     * to the stream *before* the task so hazards order them.
+     */
+    void planTask(LaunchedTask &task, std::vector<CopyDesc> &copies);
+
+    /**
+     * Execute one retired Copy task (Real mode): the verbatim memcpy
+     * between shard buffers and/or the canonical allocation
+     * (`canonical` may be null when neither endpoint is rank -1).
+     */
+    void executeCopy(const CopyDesc &copy, std::byte *canonical);
+
+    /**
+     * Pull every rectangle the canonical allocation is missing from
+     * its owning shard (Real mode; host readback under a fence —
+     * untimed marshalling, unlike the Copy tasks planTask emits).
+     */
+    void gatherToCanonical(StoreId id, std::byte *canonical);
+
+    /**
+     * Resolve the shard view of `piece` for launch point `point`.
+     * Must only be called for arguments planTask marked non-canonical
+     * (the shard covering the piece exists by then).
+     */
+    ShardView shardView(StoreId id, int point, const Rect &piece,
+                        bool with_pointer);
+
+    const ShardStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  private:
+    struct Shard
+    {
+        Rect rect; ///< allocated bounding box (empty: no buffer yet)
+        std::vector<std::byte> data;
+        /** Disjoint rectangles currently holding up-to-date data. */
+        std::vector<Rect> valid;
+    };
+
+    struct StoreState
+    {
+        Rect shape;
+        DType dtype = DType::F64;
+        /** Structured owner map of the last sharded write (a hint:
+         * validity lists are the ground truth). */
+        bool hasOwner = false;
+        PartitionDesc ownerPart;
+        Rect ownerDomain;
+        std::vector<Rect> ownerPieces;
+        std::vector<Shard> shards; ///< one per rank
+        /** Validity of the canonical (host-replicated) copy. */
+        std::vector<Rect> hostValid;
+    };
+
+    StoreState &state(StoreId id);
+
+    /** Remove `r` from every rectangle of `list` (exact subtract). */
+    static void invalidate(std::vector<Rect> &list, const Rect &r);
+    /** Add `r` to `list`, keeping entries disjoint. */
+    static void markValid(std::vector<Rect> &list, const Rect &r);
+    /** The parts of `r` not covered by `list`. */
+    static std::vector<Rect> uncovered(const std::vector<Rect> &list,
+                                       const Rect &r);
+
+    /** Grow rank `rank`'s shard to cover `rect` (preserving data). */
+    void ensureShardCovers(StoreState &s, int rank, const Rect &rect);
+
+    /** Plan pulls making `piece` resident in `rank`'s shard. */
+    void planPull(StoreId id, StoreState &s, int rank, const Rect &piece,
+                  std::vector<CopyDesc> &copies);
+
+    /** Plan gathers making the canonical copy fully valid. */
+    void planGather(StoreId id, StoreState &s,
+                    std::vector<CopyDesc> &copies);
+
+    ExecutionMode mode_;
+    int ranks_;
+    std::unordered_map<StoreId, StoreState> stores_;
+    ShardStats stats_;
+};
+
+} // namespace rt
+} // namespace diffuse
+
+#endif // DIFFUSE_RUNTIME_SHARD_H

@@ -122,7 +122,9 @@ TaskStream::submit(LaunchedTask task, TaskTiming timing)
     int nprocs = machine_.totalGpus();
     for (int p = 0; p < task.numPoints; p++) {
         double dur = timing.pointSeconds[std::size_t(p)];
-        double &free_at = procFree_[std::size_t(p % nprocs)];
+        int proc = task.procHint >= 0 ? task.procHint % nprocs
+                                      : p % nprocs;
+        double &free_at = procFree_[std::size_t(proc)];
         double start = std::max(earliest, free_at);
         double fin = start + dur;
         free_at = fin;
@@ -131,6 +133,7 @@ TaskStream::submit(LaunchedTask task, TaskTiming timing)
     }
     double finish = max_point_finish + timing.collectiveSeconds;
     stats_.busyTime += timing.collectiveSeconds;
+    stats_.collectiveTime += timing.collectiveSeconds;
     stats_.criticalPathTime = std::max(stats_.criticalPathTime, finish);
 
     // ---- Access-history update --------------------------------------

@@ -30,6 +30,11 @@
 
 #include "common/geometry.h"
 #include "common/types.h"
+// PartitionDesc is a pure value type over common/geometry.h; carrying
+// it on lowered arguments lets the shard manager plan exchanges
+// structurally (constant-time owner lookup) instead of scanning
+// pieces. This is the one core -> runtime type dependency.
+#include "core/partition.h"
 #include "runtime/machine.h"
 
 namespace diffuse {
@@ -62,26 +67,72 @@ struct LowArg
     bool absolute = false;
     /** Identity of (partition, launch domain); 0 is reserved. */
     std::uint64_t layoutKey = 0;
+    /**
+     * The structured partition this argument was lowered from (None
+     * for replicated access and runtime-internal tasks). Lets the
+     * shard manager find piece owners in constant time.
+     */
+    PartitionDesc part;
     /** Sub-rectangle accessed by each launch-domain point. */
     std::vector<Rect> pieces;
     /** Optional per-point irregular element counts (CSR nnz). */
     std::vector<coord_t> irregular;
 };
 
+/** What a submitted task does when it retires. */
+enum class TaskKind : std::uint8_t {
+    Compute, ///< run the compiled kernel over its pieces
+    Copy,    ///< move one rectangle between shards (data exchange)
+};
+
+/**
+ * Description of one exchange: move `rect` of `store` from the shard
+ * of `srcRank` into the shard of `dstRank`. Rank -1 denotes the
+ * canonical (host-replicated) copy — pulls from it model data that is
+ * already resident everywhere (initialization, post-collective) and
+ * cost nothing; pushes to it are gathers and are charged.
+ */
+struct CopyDesc
+{
+    StoreId store = INVALID_STORE;
+    Rect rect;
+    int srcRank = -1;
+    int dstRank = -1;
+    double bytes = 0.0;
+};
+
 /** A fully lowered index task ready for submission. */
 struct LaunchedTask
 {
+    TaskKind kind = TaskKind::Compute;
     std::shared_ptr<const kir::CompiledKernel> kernel;
     int numPoints = 1;
     std::vector<LowArg> args;
     std::vector<double> scalars;
     std::string name;
+    /** Launch domain the pieces were enumerated from (Compute). */
+    Rect launchDomain;
+    /** Exchange descriptor (Copy tasks only). */
+    CopyDesc copy;
+    /**
+     * Processor timeline this task occupies in the simulated
+     * schedule; <0 derives the processor from the point index. Copy
+     * tasks pin themselves to the destination rank's processor.
+     */
+    int procHint = -1;
     /**
      * Point tasks may run concurrently: no replicated write, and no
      * piece of any point overlaps another point's written pieces.
      * Computed by the runtime at submission.
      */
     bool parallelSafe = false;
+    /**
+     * Per-argument binding decision under sharded execution (ranks >
+     * 1): 1 = bind the canonical allocation, 0 = bind the rank's
+     * shard. Filled by ShardManager::planTask; empty when sharding is
+     * inactive.
+     */
+    std::vector<std::uint8_t> argCanonical;
 };
 
 /** Cost-model inputs of one submitted task (computed at submission). */
@@ -111,6 +162,9 @@ struct StreamStats
     double criticalPathTime = 0.0;
     /** Aggregate busy seconds across all processor timelines. */
     double busyTime = 0.0;
+    /** Collective seconds included in busyTime (they occupy the
+     * interconnect, not a single processor timeline). */
+    double collectiveTime = 0.0;
     std::size_t maxPendingSeen = 0;
 };
 

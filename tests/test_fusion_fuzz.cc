@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Randomized fusion-equivalence fuzzer: the differential oracle for
+ * the whole execution stack.
+ *
+ * A seeded generator builds random op DAGs over cunumeric-mini —
+ * element-wise chains, scalar-coefficient ops, shifted slices
+ * (aliasing views), writes through views (including shifted
+ * self-copies whose sequential point order is observable), reductions
+ * fed back as scalar coefficients, matvecs, array destruction and
+ * mid-stream fences — and replays the *identical* program under every
+ * execution configuration: fused/unfused x scalar-oracle/vector x
+ * workers 1/8 x ranks 1/4. Every live array must be **bitwise**
+ * identical to the reference configuration (unfused, scalar
+ * interpreter, one worker, one rank).
+ *
+ * DIFFUSE_FUZZ_SEEDS selects the number of seeds (default 8; the
+ * ctest `slow` configuration runs more). A second suite locks the
+ * same property on the real applications (stencil, Black-Scholes,
+ * Jacobi, CG, BiCGSTAB, GMG).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "cunumeric/ndarray.h"
+#include "solvers/solvers.h"
+#include "sparse/csr.h"
+
+namespace diffuse {
+namespace {
+
+using num::Context;
+using num::NDArray;
+
+/** One execution configuration under test. */
+struct Config
+{
+    bool fused;
+    bool scalarExec;
+    int workers;
+    int ranks;
+
+    std::string
+    label() const
+    {
+        return std::string(fused ? "fused" : "unfused") +
+               (scalarExec ? "/scalar" : "/vector") + "/w" +
+               std::to_string(workers) + "/r" + std::to_string(ranks);
+    }
+};
+
+/** Scoped DIFFUSE_SCALAR_EXEC override. */
+struct ScalarGuard
+{
+    explicit ScalarGuard(bool scalar)
+    {
+        if (scalar)
+            setenv("DIFFUSE_SCALAR_EXEC", "1", 1);
+        else
+            unsetenv("DIFFUSE_SCALAR_EXEC");
+    }
+    ~ScalarGuard() { unsetenv("DIFFUSE_SCALAR_EXEC"); }
+};
+
+/** Raw bits of a double vector (bitwise comparison: NaN-safe, -0.0
+ * distinguished — the oracle is *bit* equality, not ==). */
+std::vector<std::uint64_t>
+bits(const std::vector<double> &v)
+{
+    std::vector<std::uint64_t> out(v.size());
+    std::memcpy(out.data(), v.data(), v.size() * sizeof(double));
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Random-program fuzzer
+// ---------------------------------------------------------------------
+
+/**
+ * Run the seed's program under `cfg` and return the bits of every
+ * live array. Every random decision depends only on `seed`, so each
+ * configuration replays the identical op DAG.
+ */
+std::vector<std::vector<std::uint64_t>>
+runProgram(std::uint64_t seed, const Config &cfg)
+{
+    ScalarGuard guard(cfg.scalarExec);
+    DiffuseOptions o;
+    o.fusionEnabled = cfg.fused;
+    o.mode = rt::ExecutionMode::Real;
+    o.workers = cfg.workers;
+    o.ranks = cfg.ranks;
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+    Context ctx(rt);
+
+    Rng rng(seed);
+    const coord_t n = 24 + coord_t(rng.below(41)); // 24..64
+    std::vector<NDArray> pool;
+    for (int i = 0; i < 3; i++) {
+        pool.push_back(
+            ctx.random(n, seed ^ (0x9e3779b9ULL * std::uint64_t(i + 1)),
+                       -1.0, 1.0));
+    }
+
+    auto pick = [&]() -> NDArray & {
+        return pool[std::size_t(rng.below(pool.size()))];
+    };
+
+    int steps = 14 + int(rng.below(12));
+    for (int s = 0; s < steps; s++) {
+        // Operands are picked in statements of their own: argument
+        // evaluation order is compiler-dependent, and the generator
+        // must make the same decisions in every configuration.
+        switch (rng.below(12)) {
+          case 0: {
+            NDArray &a = pick();
+            NDArray &b = pick();
+            pool.push_back(ctx.add(a, b));
+            break;
+          }
+          case 1: {
+            NDArray &a = pick();
+            NDArray &b = pick();
+            pool.push_back(ctx.sub(a, b));
+            break;
+          }
+          case 2: {
+            NDArray &a = pick();
+            NDArray &b = pick();
+            pool.push_back(ctx.mul(a, b));
+            break;
+          }
+          case 3: {
+            bool use_max = rng.below(2) == 0;
+            NDArray &a = pick();
+            NDArray &b = pick();
+            pool.push_back(use_max ? ctx.maximum(a, b)
+                                   : ctx.minimum(a, b));
+            break;
+          }
+          case 4: {
+            NDArray &a = pick();
+            double sc = rng.uniform(-2.0, 2.0);
+            NDArray &b = pick();
+            pool.push_back(ctx.axpy(a, sc, b));
+            break;
+          }
+          case 5: {
+            switch (rng.below(4)) {
+              case 0:
+                pool.push_back(
+                    ctx.addScalar(pick(), rng.uniform(-1.0, 1.0)));
+                break;
+              case 1:
+                pool.push_back(
+                    ctx.mulScalar(rng.uniform(-1.5, 1.5), pick()));
+                break;
+              case 2:
+                pool.push_back(ctx.neg(pick()));
+                break;
+              default:
+                pool.push_back(ctx.abs(pick()));
+                break;
+            }
+            break;
+          }
+          case 6:
+            // Bounded nonlinearities (erf maps into [-1, 1]; sqrt of
+            // abs stays finite).
+            pool.push_back(rng.below(2) == 0
+                               ? ctx.erf(pick())
+                               : ctx.sqrt(ctx.abs(pick())));
+            break;
+          case 7: {
+            // Sliced op: t = a[o1:o1+L] + b[o2:o2+L], then written
+            // into a view of an existing array (aliasing write).
+            coord_t len = 4 + coord_t(rng.below(std::uint64_t(n - 8)));
+            coord_t o1 = coord_t(rng.below(std::uint64_t(n - len + 1)));
+            coord_t o2 = coord_t(rng.below(std::uint64_t(n - len + 1)));
+            coord_t o3 = coord_t(rng.below(std::uint64_t(n - len + 1)));
+            NDArray &a = pick();
+            NDArray &b = pick();
+            NDArray t =
+                ctx.add(a.slice(o1, o1 + len), b.slice(o2, o2 + len));
+            NDArray &dst = pick();
+            ctx.assign(dst.slice(o3, o3 + len), t);
+            break;
+          }
+          case 8: {
+            // Shifted self-copy: the sequential point order is
+            // observable through the aliasing views (the canonical-
+            // escalation path under sharding).
+            NDArray &a = pick();
+            if (rng.below(2) == 0)
+                ctx.assign(a.slice(1, n), a.slice(0, n - 1));
+            else
+                ctx.assign(a.slice(0, n - 1), a.slice(1, n));
+            break;
+          }
+          case 9: {
+            // Reduction fed back as a scalar coefficient.
+            NDArray &a = pick();
+            NDArray &b = pick();
+            NDArray alpha = rng.below(2) == 0 ? ctx.dot(a, b)
+                                              : ctx.sum(a);
+            switch (rng.below(3)) {
+              case 0:
+                pool.push_back(ctx.axpyS(a, alpha, b));
+                break;
+              case 1:
+                pool.push_back(ctx.axmyS(a, alpha, b));
+                break;
+              default:
+                pool.push_back(ctx.aypxS(a, alpha, b));
+                break;
+            }
+            break;
+          }
+          case 10:
+            ctx.fill(pick(), rng.uniform(-1.0, 1.0));
+            break;
+          default:
+            // Mid-stream synchronization: flushes exercise fences and
+            // scalar read-back forces an implicit store fence.
+            if (rng.below(2) == 0)
+                rt.flushWindow();
+            else
+                (void)ctx.value(ctx.sum(pick()));
+            break;
+        }
+        // Keep the pool bounded; dropping arrays exercises store
+        // destruction (including deferred zombie destruction).
+        while (pool.size() > 8)
+            pool.erase(pool.begin() +
+                       std::ptrdiff_t(rng.below(pool.size())));
+    }
+
+    rt.flushWindow();
+    std::vector<std::vector<std::uint64_t>> out;
+    out.reserve(pool.size());
+    for (const NDArray &a : pool)
+        out.push_back(bits(ctx.toHost(a)));
+    return out;
+}
+
+TEST(FusionFuzz, AllConfigurationsBitwiseEqual)
+{
+    const int seeds = envInt("DIFFUSE_FUZZ_SEEDS", 8, 1, 100000);
+    const Config reference{false, true, 1, 1};
+    const Config variants[] = {
+        {true, false, 1, 1},  // the production configuration
+        {true, false, 8, 1},  // + sharded workers
+        {true, false, 1, 4},  // + distributed shards
+        {true, false, 8, 4},  // workers x ranks
+        {false, false, 1, 4}, // unfused over shards
+        {true, true, 8, 4},   // scalar oracle over shards
+    };
+    for (int s = 0; s < seeds; s++) {
+        std::uint64_t seed = 0xD1FFu + std::uint64_t(s) * 7919;
+        auto expect = runProgram(seed, reference);
+        for (const Config &cfg : variants) {
+            auto got = runProgram(seed, cfg);
+            ASSERT_EQ(got.size(), expect.size())
+                << "seed " << seed << " config " << cfg.label();
+            for (std::size_t i = 0; i < got.size(); i++) {
+                ASSERT_EQ(got[i], expect[i])
+                    << "seed " << seed << " config " << cfg.label()
+                    << " array " << i;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Application determinism: every app, bitwise, ranks 1 vs 4 and
+// workers 1 vs 8
+// ---------------------------------------------------------------------
+
+DiffuseOptions
+appOpts(int workers, int ranks)
+{
+    DiffuseOptions o;
+    o.mode = rt::ExecutionMode::Real;
+    o.workers = workers;
+    o.ranks = ranks;
+    return o;
+}
+
+template <typename Run>
+void
+expectAppDeterminism(Run &&run)
+{
+    auto expect = run(appOpts(1, 1));
+    const int cases[][2] = {{8, 1}, {1, 4}, {8, 4}};
+    for (const auto &c : cases) {
+        auto got = run(appOpts(c[0], c[1]));
+        ASSERT_EQ(bits(got), bits(expect))
+            << "workers " << c[0] << " ranks " << c[1];
+    }
+}
+
+TEST(AppDeterminism, Stencil)
+{
+    expectAppDeterminism([](const DiffuseOptions &o) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+        Context ctx(rt);
+        apps::Stencil app(ctx, 48);
+        for (int i = 0; i < 3; i++) {
+            app.step();
+            rt.flushWindow();
+        }
+        return ctx.toHost(app.grid());
+    });
+}
+
+TEST(AppDeterminism, BlackScholes)
+{
+    expectAppDeterminism([](const DiffuseOptions &o) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+        Context ctx(rt);
+        apps::BlackScholes app(ctx, 64);
+        app.step();
+        rt.flushWindow();
+        std::vector<double> out = ctx.toHost(app.call());
+        std::vector<double> put = ctx.toHost(app.put());
+        out.insert(out.end(), put.begin(), put.end());
+        return out;
+    });
+}
+
+TEST(AppDeterminism, Jacobi)
+{
+    expectAppDeterminism([](const DiffuseOptions &o) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+        Context ctx(rt);
+        apps::Jacobi app(ctx, 64);
+        for (int i = 0; i < 3; i++) {
+            app.step();
+            rt.flushWindow();
+        }
+        return ctx.toHost(app.x());
+    });
+}
+
+TEST(AppDeterminism, Cg)
+{
+    expectAppDeterminism([](const DiffuseOptions &o) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+        Context ctx(rt);
+        sp::SparseContext sctx(ctx);
+        solvers::SolverContext sol(ctx, sctx);
+        sp::CsrMatrix a = sctx.poisson2d(8, 8);
+        NDArray b = ctx.zeros(64, 1.0);
+        double rs = 0.0;
+        NDArray x = sol.cg(a, b, 12, &rs);
+        std::vector<double> out = ctx.toHost(x);
+        out.push_back(rs);
+        return out;
+    });
+}
+
+TEST(AppDeterminism, Bicgstab)
+{
+    expectAppDeterminism([](const DiffuseOptions &o) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+        Context ctx(rt);
+        sp::SparseContext sctx(ctx);
+        solvers::SolverContext sol(ctx, sctx);
+        sp::CsrMatrix a = sctx.poisson2d(8, 8);
+        NDArray b = ctx.zeros(64, 1.0);
+        double rs = 0.0;
+        NDArray x = sol.bicgstab(a, b, 8, &rs);
+        std::vector<double> out = ctx.toHost(x);
+        out.push_back(rs);
+        return out;
+    });
+}
+
+TEST(AppDeterminism, Gmg)
+{
+    expectAppDeterminism([](const DiffuseOptions &o) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+        Context ctx(rt);
+        sp::SparseContext sctx(ctx);
+        solvers::SolverContext sol(ctx, sctx);
+        solvers::GmgHierarchy h = sol.buildHierarchy1d(64, 3);
+        NDArray b = ctx.zeros(64, 1.0);
+        double rs = 0.0;
+        NDArray x = sol.gmgPcg(h, b, 6, &rs);
+        std::vector<double> out = ctx.toHost(x);
+        out.push_back(rs);
+        return out;
+    });
+}
+
+} // namespace
+} // namespace diffuse

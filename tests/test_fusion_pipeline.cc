@@ -90,7 +90,11 @@ TEST(Pipeline, TemporaryEliminationAvoidsMaterialization)
     // no app refs); x, y, w, v, norm stay materialized. The fused run
     // must materialize exactly one store fewer than the unfused run.
     auto run = [](bool fuse) {
-        DiffuseRuntime rt(machineWith(4), optionsFor(fuse));
+        // Materialization counts are a canonical-allocation property:
+        // pin ranks so DIFFUSE_RANKS doesn't shift what materializes.
+        DiffuseOptions o = optionsFor(fuse);
+        o.ranks = 1;
+        DiffuseRuntime rt(machineWith(4), o);
         Context ctx(rt);
         const coord_t n = 512;
         NDArray x = ctx.zeros(n);

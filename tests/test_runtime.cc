@@ -21,6 +21,11 @@ opts(bool fuse, rt::ExecutionMode mode = rt::ExecutionMode::Real)
     DiffuseOptions o;
     o.fusionEnabled = fuse;
     o.mode = mode;
+    // This file asserts the ranks=1 analytic communication model and
+    // canonical-allocation materialization counts; the sharded path
+    // has its own measured-exchange tests (test_shard_exchange.cc),
+    // so pin ranks regardless of DIFFUSE_RANKS in the environment.
+    o.ranks = 1;
     return o;
 }
 
