@@ -48,9 +48,12 @@ main()
                 (unsigned long long)fs.tempsEliminated);
     std::printf("simulated time          = %.3f ms\n",
                 1e3 * runtime.runtimeStats().simTime);
-    std::printf("\nRe-running the same stream hits the memoized "
-                "plan:\n");
+    std::printf("\nRe-running the stream hits the memoized plan "
+                "(iteration 2's window opens with the previous "
+                "round's releases, so it is analyzed once more — "
+                "but its fused group is isomorphic to round 1's):\n");
 
+    z = w = v = nrm = num::NDArray(); // round 1's handles drop here
     num::NDArray z2 = np.mulScalar(2.0, x);
     num::NDArray w2 = np.add(y, z2);
     num::NDArray v2 = np.mul(w2, w2);
@@ -59,5 +62,25 @@ main()
     std::printf("memo hits/misses        = %llu/%llu\n",
                 (unsigned long long)runtime.memoStats().hits,
                 (unsigned long long)runtime.memoStats().misses);
+
+    // Iteration 3's event stream — releases then the same four ops —
+    // repeats iteration 2's exactly, so the trace layer (one level
+    // above the memoizer) replays the whole flushed window: no
+    // fusion analysis, no memo encoding, no lowering, no hazard
+    // analysis; the cached schedulable units resubmit with fresh
+    // store buffers (see docs/architecture.md, stage 1b).
+    std::printf("\n...and iteration 3 replays the whole window "
+                "from the trace:\n");
+    z2 = w2 = v2 = nrm2 = num::NDArray();
+    num::NDArray z3 = np.mulScalar(2.0, x);
+    num::NDArray w3 = np.add(y, z3);
+    num::NDArray v3 = np.mul(w3, w3);
+    num::NDArray nrm3 = np.norm2Sq(v3);
+    np.value(nrm3);
+    std::printf("trace replays/captures  = %llu/%llu\n",
+                (unsigned long long)
+                    runtime.fusionStats().traceEpochsReplayed,
+                (unsigned long long)
+                    runtime.fusionStats().traceEpochsCaptured);
     return 0;
 }

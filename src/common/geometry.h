@@ -386,6 +386,35 @@ hashCombine(std::size_t &seed, std::size_t v)
     seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
 }
 
+/** 64-bit hashCombine. Capture-time and replay-time trace state
+ * signatures (runtime.cc, shard.cc) compose through these exact
+ * mixers — sharing them is what keeps the two from drifting apart. */
+inline void
+hashCombine64(std::uint64_t &h, std::uint64_t v)
+{
+    std::size_t seed = std::size_t(h);
+    hashCombine(seed, std::size_t(v));
+    h = std::uint64_t(seed);
+}
+
+inline void
+hashCombineRect(std::uint64_t &h, const Rect &r)
+{
+    hashCombine64(h, std::uint64_t(r.dim()));
+    for (int d = 0; d < r.dim(); d++) {
+        hashCombine64(h, std::uint64_t(r.lo[d]));
+        hashCombine64(h, std::uint64_t(r.hi[d]));
+    }
+}
+
+inline void
+hashCombineRects(std::uint64_t &h, const std::vector<Rect> &rects)
+{
+    hashCombine64(h, rects.size());
+    for (const Rect &r : rects)
+        hashCombineRect(h, r);
+}
+
 struct PointHash
 {
     std::size_t

@@ -1,10 +1,24 @@
 #include "diffuse.h"
 
+#include <chrono>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace diffuse {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
 
 DiffuseRuntime::DiffuseRuntime(const rt::MachineConfig &machine,
                                DiffuseOptions options)
@@ -17,6 +31,14 @@ DiffuseRuntime::DiffuseRuntime(const rt::MachineConfig &machine,
 {
     diffuse_assert(windowSize_ >= 1, "window must hold a task");
     fusionStats_.windowSize = windowSize_;
+    traceEnabled_ = options.trace >= 0
+                        ? options.trace != 0
+                        : envInt("DIFFUSE_TRACE", 1, 0, 1) != 0;
+    if (traceEnabled_) {
+        low_.setHostWriteObserver(
+            [this](StoreId id) { traceOnHostWrite(id); });
+    }
+    traceBeginEpoch();
 }
 
 StoreId
@@ -31,11 +53,31 @@ DiffuseRuntime::createStore(const Point &shape, DType dtype, double init,
 void
 DiffuseRuntime::retainApp(StoreId id)
 {
+    if (traceRouting()) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::Retain;
+        ev.store = id;
+        traceOnEvent(std::move(ev));
+        return;
+    }
     stores_.retainApp(id);
 }
 
 void
 DiffuseRuntime::releaseApp(StoreId id)
+{
+    if (traceRouting()) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::Release;
+        ev.store = id;
+        traceOnEvent(std::move(ev));
+        return;
+    }
+    applyRelease(id);
+}
+
+void
+DiffuseRuntime::applyRelease(StoreId id)
 {
     if (stores_.releaseApp(id)) {
         low_.destroyStore(id);
@@ -55,23 +97,58 @@ DiffuseRuntime::submit(IndexTask task)
     diffuse_assert(!task.launchDomain.empty(),
                    "task %s has an empty launch domain",
                    task.name.c_str());
+    Clock::time_point t0 = Clock::now();
     for (const StoreArg &arg : task.args)
         stores_.retainWindow(arg.store);
     fusionStats_.tasksSubmitted++;
-    window_.push_back(std::move(task));
-    while (int(window_.size()) >= windowSize_)
-        processOne();
+    if (traceRouting()) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::Submit;
+        ev.task = std::move(task);
+        traceOnEvent(std::move(ev));
+    } else {
+        window_.push_back(std::move(task));
+        while (int(window_.size()) >= windowSize_)
+            processOne();
+    }
+    traceEpochSeconds_ += secondsSince(t0);
 }
 
 void
 DiffuseRuntime::flushWindow()
 {
+    Clock::time_point t0 = Clock::now();
     fusionStats_.flushes++;
+    if (traceEnabled_) {
+        if (traceMode_ == TraceMode::Speculating) {
+            if (traceTryReplay()) {
+                fusionStats_.replaySubmitSeconds +=
+                    traceEpochSeconds_ + secondsSince(t0);
+                fusionStats_.traceEpochsReplayed++;
+                low_.fence();
+                traceBeginEpoch();
+                return;
+            }
+            // A candidate engaged but the epoch ended early or failed
+            // validation: fall back to the analyzed path and
+            // recapture (replacing the stale cache entry).
+            fusionStats_.traceAborts++;
+            traceMode_ = TraceMode::Capturing;
+            traceBeginCapture();
+            traceDrainPending();
+        }
+    }
+    traceCurEvent_ = traceEvent_; // flush-emitted units
     while (!window_.empty())
         processOne();
+    if (traceMode_ == TraceMode::Capturing)
+        traceFinalizeCapture();
+    fusionStats_.plannedSubmitSeconds +=
+        traceEpochSeconds_ + secondsSince(t0);
     // Drain the asynchronous stream: flush is the paper's
     // synchronization point, so every submitted group retires here.
     low_.fence();
+    traceBeginEpoch();
 }
 
 double
@@ -105,11 +182,9 @@ DiffuseRuntime::writeStoreF64(StoreId id, const std::vector<double> &v)
 }
 
 bool
-DiffuseRuntime::liveAfterIndex(StoreId id, std::size_t prefix_len) const
+DiffuseRuntime::windowReadsBeyond(StoreId id,
+                                  std::size_t prefix_len) const
 {
-    // Definition 4, condition 3: live application references.
-    if (stores_.get(id).appRefs > 0)
-        return true;
     // Definition 4, condition 2: a pending task beyond the prefix
     // reads or reduces the store.
     for (std::size_t t = prefix_len; t < window_.size(); t++) {
@@ -121,6 +196,15 @@ DiffuseRuntime::liveAfterIndex(StoreId id, std::size_t prefix_len) const
         }
     }
     return false;
+}
+
+bool
+DiffuseRuntime::liveAfterIndex(StoreId id, std::size_t prefix_len) const
+{
+    // Definition 4, condition 3: live application references.
+    if (stores_.get(id).appRefs > 0)
+        return true;
+    return windowReadsBeyond(id, prefix_len);
 }
 
 ExecutionGroup
@@ -177,7 +261,25 @@ DiffuseRuntime::processOne()
     ExecutionGroup group;
     if (f >= 2) {
         auto live = [this, f](StoreId id) {
-            return liveAfterIndex(id, std::size_t(f));
+            if (!traceCaptureUnits_)
+                return liveAfterIndex(id, std::size_t(f));
+            // Capture splits the liveness conditions: the in-window
+            // component is implied by a matching event stream, so
+            // only app-refcount-decided bits need replay validation.
+            bool app = stores_.get(id).appRefs > 0;
+            bool win = windowReadsBeyond(id, std::size_t(f));
+            if (!win) {
+                int slot = traceEnc_.slotOf(id);
+                diffuse_assert(slot >= 0,
+                               "liveness probe for store outside the "
+                               "captured epoch");
+                bool seen = false;
+                for (const TraceProbe &p : traceProbes_)
+                    seen = seen || p.slot == slot;
+                if (!seen)
+                    traceProbes_.push_back({slot, app});
+            }
+            return app || win;
         };
         if (options_.memoization) {
             std::vector<StoreId> slots;
@@ -201,6 +303,8 @@ DiffuseRuntime::processOne()
     }
 
     scheduleGroup(group);
+    if (traceCaptureUnits_)
+        traceRecordUnit(f, block, group);
 
     // Retire the emitted tasks and drop their window references.
     for (int t = 0; t < f; t++)
@@ -213,6 +317,7 @@ DiffuseRuntime::processOne()
         windowSize_ < options_.maxWindow) {
         windowSize_ = std::min(windowSize_ * 2, options_.maxWindow);
         fusionStats_.windowGrowths++;
+        traceEpochGrowths_++;
         fusionStats_.windowSize = windowSize_;
     }
 }
@@ -245,6 +350,382 @@ DiffuseRuntime::destroyIfDead(StoreId id)
     if (meta.appRefs == 0 && meta.windowRefs == 0) {
         low_.destroyStore(id);
         stores_.remove(id);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace-memoized window replay
+// ---------------------------------------------------------------------
+
+bool
+DiffuseRuntime::traceRouting() const
+{
+    return traceEnabled_ && traceMode_ != TraceMode::Bypassed;
+}
+
+void
+DiffuseRuntime::traceBeginEpoch()
+{
+    if (low_.capturing())
+        low_.endSubmitCapture();
+    traceMode_ = TraceMode::Idle;
+    traceEnc_.reset(windowSize_);
+    epochCodes_.clear();
+    traceSigs_.clear();
+    tracePending_.clear();
+    traceCands_.clear();
+    traceRec_.reset();
+    traceLog_.clear();
+    traceLogMark_ = 0;
+    traceProbes_.clear();
+    traceEvent_ = 0;
+    traceCurEvent_ = 0;
+    traceCaptureUnits_ = false;
+    traceEpochGrowths_ = 0;
+    traceEpochSeconds_ = 0.0;
+}
+
+void
+DiffuseRuntime::traceOnEvent(TraceEvent ev)
+{
+    std::vector<StoreId> fresh;
+    std::string code = traceEnc_.encode(ev, stores_, &fresh);
+    int idx = traceEvent_++;
+    epochCodes_.push_back(code);
+    // Fresh slots' runtime state is snapshotted before anything in
+    // this epoch can have touched them: a store is only mutated by
+    // processing events in which it already appeared.
+    std::size_t sig_base = traceSigs_.size();
+    for (StoreId sid : fresh)
+        traceSigs_.push_back(low_.storeStateSignature(sid));
+
+    auto sigs_match = [&](const TraceEpoch *c) {
+        for (std::size_t i = sig_base; i < traceSigs_.size(); i++) {
+            if (i >= c->slotSigs.size() || c->slotSigs[i] != traceSigs_[i])
+                return false;
+        }
+        return true;
+    };
+
+    switch (traceMode_) {
+      case TraceMode::Idle: {
+        const auto *list = traceCache_.candidates(code);
+        traceCands_.clear();
+        if (list) {
+            for (const std::unique_ptr<TraceEpoch> &c : *list) {
+                if (sigs_match(c.get()))
+                    traceCands_.push_back(c.get());
+            }
+        }
+        if (!traceCands_.empty()) {
+            traceMode_ = TraceMode::Speculating;
+            tracePending_.push_back(std::move(ev));
+            return;
+        }
+        // A full cache can still *replace* an epoch sharing this
+        // first code (stale signatures); but when none does, capture
+        // could never be stored — skip its overhead outright.
+        if (list == nullptr &&
+            traceCache_.entries() >= kTraceMaxEntries) {
+            traceMode_ = TraceMode::Bypassed;
+            traceCurEvent_ = idx;
+            traceApplyEvent(ev);
+            return;
+        }
+        traceMode_ = TraceMode::Capturing;
+        traceBeginCapture();
+        traceCurEvent_ = idx;
+        traceApplyEvent(ev);
+        return;
+      }
+      case TraceMode::Speculating: {
+        std::size_t kept = 0;
+        for (TraceEpoch *c : traceCands_) {
+            if (std::size_t(idx) < c->codes.size() &&
+                c->codes[std::size_t(idx)] == code && sigs_match(c)) {
+                traceCands_[kept++] = c;
+            }
+        }
+        traceCands_.resize(kept);
+        if (kept == 0) {
+            fusionStats_.traceAborts++;
+            traceMode_ = TraceMode::Capturing;
+            traceBeginCapture();
+            traceDrainPending();
+            traceCurEvent_ = idx;
+            traceApplyEvent(ev);
+            return;
+        }
+        tracePending_.push_back(std::move(ev));
+        return;
+      }
+      case TraceMode::Capturing: {
+        if (traceEvent_ > kTraceMaxEvents)
+            traceSwitchToBypass();
+        traceCurEvent_ = idx;
+        traceApplyEvent(ev);
+        return;
+      }
+      case TraceMode::Bypassed:
+        traceCurEvent_ = idx;
+        traceApplyEvent(ev);
+        return;
+    }
+}
+
+void
+DiffuseRuntime::traceDrainPending()
+{
+    std::vector<TraceEvent> pend = std::move(tracePending_);
+    tracePending_.clear();
+    for (std::size_t i = 0; i < pend.size(); i++) {
+        traceCurEvent_ = int(i);
+        traceApplyEvent(pend[i]);
+    }
+}
+
+void
+DiffuseRuntime::traceApplyEvent(TraceEvent &ev)
+{
+    switch (ev.kind) {
+      case TraceEventKind::Submit:
+        window_.push_back(std::move(ev.task));
+        while (int(window_.size()) >= windowSize_)
+            processOne();
+        break;
+      case TraceEventKind::Retain:
+        stores_.retainApp(ev.store);
+        break;
+      case TraceEventKind::Release:
+        applyRelease(ev.store);
+        break;
+    }
+}
+
+void
+DiffuseRuntime::traceBeginCapture()
+{
+    traceRec_ = std::make_unique<TraceEpoch>();
+    traceLog_.clear();
+    traceLogMark_ = 0;
+    traceProbes_.clear();
+    low_.beginSubmitCapture(&traceLog_);
+    traceCaptureUnits_ = true;
+}
+
+void
+DiffuseRuntime::traceSwitchToBypass()
+{
+    if (low_.capturing())
+        low_.endSubmitCapture();
+    traceCaptureUnits_ = false;
+    traceRec_.reset();
+    traceMode_ = TraceMode::Bypassed;
+}
+
+void
+DiffuseRuntime::traceOnHostWrite(StoreId id)
+{
+    if (traceMode_ == TraceMode::Idle ||
+        traceMode_ == TraceMode::Bypassed) {
+        return;
+    }
+    if (traceEnc_.slotOf(id) < 0)
+        return; // not part of this epoch: ordering is unaffected
+    if (traceMode_ == TraceMode::Speculating) {
+        // The accessor reads store state the moment this observer
+        // returns, so the deferred prefix must reach the runtime NOW
+        // — draining lazily would hand the host bytes that predate
+        // tasks the analyzed path had already submitted. The write
+        // makes this epoch untraceable either way.
+        traceMode_ = TraceMode::Bypassed;
+        traceCands_.clear();
+        traceDrainPending();
+    } else {
+        traceSwitchToBypass();
+    }
+}
+
+void
+DiffuseRuntime::traceRecordUnit(int prefix_len, FusionBlock block,
+                                const ExecutionGroup &group)
+{
+    diffuse_assert(traceRec_ != nullptr, "unit capture without epoch");
+    TraceUnit u;
+    u.prefixLen = prefix_len;
+    u.endEvent = traceCurEvent_;
+    u.block = block;
+    u.fused = group.fused;
+    u.temps = std::uint32_t(group.temps.size());
+    u.probes = std::move(traceProbes_);
+    traceProbes_.clear();
+    u.subs.reserve(traceLog_.size() - traceLogMark_);
+    for (std::size_t i = traceLogMark_; i < traceLog_.size(); i++) {
+        rt::RecordedSubmission &sub = traceLog_[i];
+        // Canonicalize store ids to epoch slots (every store of a
+        // scheduled group appeared in this epoch's event stream).
+        for (rt::LowArg &a : sub.task.args) {
+            int slot = traceEnc_.slotOf(a.store);
+            diffuse_assert(slot >= 0, "captured store %llu has no slot",
+                           (unsigned long long)a.store);
+            a.store = StoreId(slot);
+        }
+        if (sub.task.kind == rt::TaskKind::Copy) {
+            int slot = traceEnc_.slotOf(sub.task.copy.store);
+            diffuse_assert(slot >= 0, "captured copy has no slot");
+            sub.task.copy.store = StoreId(slot);
+        }
+        u.subs.push_back(std::move(sub));
+    }
+    traceLogMark_ = traceLog_.size();
+    traceRec_->units.push_back(std::move(u));
+}
+
+void
+DiffuseRuntime::traceFinalizeCapture()
+{
+    if (low_.capturing())
+        low_.endSubmitCapture();
+    traceCaptureUnits_ = false;
+    if (traceRec_ == nullptr)
+        return;
+    bool storable = traceEvent_ > 0 &&
+                    traceEvent_ <= kTraceMaxEvents &&
+                    traceLogMark_ == traceLog_.size();
+    if (storable) {
+        traceRec_->codes = std::move(epochCodes_);
+        traceRec_->slotSigs = traceSigs_;
+        traceRec_->windowSizeAfter = windowSize_;
+        // Counted per-epoch, not by FusionStats delta: the app may
+        // reset the stats mid-epoch (benches do, after warmup).
+        traceRec_->growths = traceEpochGrowths_;
+        if (traceCache_.store(std::move(traceRec_)))
+            fusionStats_.traceEpochsCaptured++;
+        fusionStats_.traceEntries = traceCache_.entries();
+    }
+    traceRec_.reset();
+}
+
+bool
+DiffuseRuntime::traceTryReplay()
+{
+    TraceEpoch *match = nullptr;
+    for (TraceEpoch *c : traceCands_) {
+        if (int(c->codes.size()) == traceEvent_) {
+            match = c;
+            break;
+        }
+    }
+    if (match == nullptr)
+        return false;
+    if (!traceValidateProbes(*match)) {
+        fusionStats_.traceValidationFailures++;
+        return false;
+    }
+    traceReplay(*match);
+    return true;
+}
+
+bool
+DiffuseRuntime::traceValidateProbes(const TraceEpoch &epoch) const
+{
+    // Reconstruct each probed store's application refcount at its
+    // unit's decision point: the current (epoch-entry) value plus the
+    // deferred retain/release deltas of all earlier events.
+    for (const TraceUnit &u : epoch.units) {
+        for (const TraceProbe &p : u.probes) {
+            StoreId sid = traceEnc_.slots()[std::size_t(p.slot)];
+            int refs = stores_.get(sid).appRefs;
+            int upto = std::min<int>(u.endEvent,
+                                     int(tracePending_.size()) - 1);
+            for (int e = 0; e <= upto; e++) {
+                const TraceEvent &ev = tracePending_[std::size_t(e)];
+                if (ev.store != sid)
+                    continue;
+                if (ev.kind == TraceEventKind::Retain)
+                    refs++;
+                else if (ev.kind == TraceEventKind::Release)
+                    refs--;
+            }
+            if ((refs > 0) != p.appLive)
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+DiffuseRuntime::traceReplay(TraceEpoch &epoch)
+{
+    std::vector<rt::EventId> events;
+    std::deque<IndexTask> queue;
+    std::size_t ui = 0;
+    for (int i = 0; i <= traceEvent_; i++) {
+        if (i < traceEvent_) {
+            TraceEvent &ev = tracePending_[std::size_t(i)];
+            switch (ev.kind) {
+              case TraceEventKind::Submit:
+                queue.push_back(std::move(ev.task));
+                break;
+              case TraceEventKind::Retain:
+                stores_.retainApp(ev.store);
+                break;
+              case TraceEventKind::Release:
+                applyRelease(ev.store);
+                break;
+            }
+        }
+        while (ui < epoch.units.size() &&
+               epoch.units[ui].endEvent == i) {
+            traceReplayUnit(epoch.units[ui++], queue, events);
+        }
+    }
+    diffuse_assert(ui == epoch.units.size() && queue.empty(),
+                   "trace replay consumed %zu of %zu units",
+                   ui, epoch.units.size());
+    tracePending_.clear();
+    if (windowSize_ != epoch.windowSizeAfter) {
+        windowSize_ = epoch.windowSizeAfter;
+        fusionStats_.windowSize = windowSize_;
+    }
+    fusionStats_.windowGrowths += epoch.growths;
+    fusionStats_.traceGroupsReplayed += epoch.units.size();
+    epoch.replays++;
+}
+
+void
+DiffuseRuntime::traceReplayUnit(const TraceUnit &unit,
+                                std::deque<IndexTask> &queue,
+                                std::vector<rt::EventId> &events)
+{
+    diffuse_assert(int(queue.size()) >= unit.prefixLen,
+                   "replay unit needs %d tasks, window has %zu",
+                   unit.prefixLen, queue.size());
+    // A fused group's scalar block is the prefix's scalars in task
+    // order (memo.h instantiates the same way) — the loop-variant
+    // half of the rebinding; stores are the other.
+    std::vector<double> scalars;
+    for (int t = 0; t < unit.prefixLen; t++) {
+        const IndexTask &task = queue[std::size_t(t)];
+        scalars.insert(scalars.end(), task.scalars.begin(),
+                       task.scalars.end());
+    }
+    for (const rt::RecordedSubmission &sub : unit.subs) {
+        const std::vector<double> *sc =
+            sub.task.kind == rt::TaskKind::Compute ? &scalars : nullptr;
+        events.push_back(
+            low_.submitRecorded(sub, traceEnc_.slots(), sc, events));
+    }
+    fusionStats_.groupsLaunched++;
+    if (unit.fused)
+        fusionStats_.fusedGroups++;
+    else
+        fusionStats_.singleTasks++;
+    fusionStats_.tempsEliminated += unit.temps;
+    fusionStats_.blocks[std::size_t(unit.block)]++;
+    for (int t = 0; t < unit.prefixLen; t++) {
+        releaseTaskRefs(queue.front());
+        queue.pop_front();
     }
 }
 

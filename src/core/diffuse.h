@@ -12,6 +12,12 @@
  * drains the window *and* fences the stream (see
  * docs/architecture.md for the full pipeline).
  *
+ * Above all of that sits trace-memoized window replay (core/trace.h,
+ * DIFFUSE_TRACE): a flushed window whose canonical event stream
+ * matches a cached epoch bypasses the planner, memoizer, lowering
+ * and hazard analysis entirely, resubmitting the recorded
+ * schedulable units with only store buffers and scalars rebound.
+ *
  * Window sizing follows the paper (§7): the window grows whenever all
  * tasks in a full window fused into one group, so steady state reaches
  * the maximum useful fusion length automatically.
@@ -21,6 +27,7 @@
 #define DIFFUSE_CORE_DIFFUSE_H
 
 #include <array>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +37,7 @@
 #include "core/memo.h"
 #include "core/scheduler.h"
 #include "core/store.h"
+#include "core/trace.h"
 #include "kernel/compiler.h"
 #include "kernel/registry.h"
 #include "runtime/runtime.h"
@@ -66,6 +74,15 @@ struct DiffuseOptions
      * bit-identical for every rank count.
      */
     int ranks = 0;
+    /**
+     * Trace-memoized window replay (core/trace.h): cache the planner
+     * and runtime output of each flushed window and, on a repeat,
+     * resubmit it with only store buffers and scalars rebound. 1 on,
+     * 0 off; < 0 reads DIFFUSE_TRACE (default on). Results — and the
+     * simulated-time accounting — are bit-identical either way;
+     * DIFFUSE_TRACE=0 is the differential oracle.
+     */
+    int trace = -1;
 };
 
 /** Counters describing fusion behaviour. */
@@ -82,12 +99,34 @@ struct FusionStats
     /** Prefix-stopping constraint counts, indexed by FusionBlock. */
     std::array<std::uint64_t, 6> blocks{};
 
+    // ---- Trace-memoized window replay (core/trace.h) ----------------
+
+    /** Flushed windows replayed wholesale from the trace cache. */
+    std::uint64_t traceEpochsReplayed = 0;
+    /** Flushed windows captured into the trace cache. */
+    std::uint64_t traceEpochsCaptured = 0;
+    /** Schedulable units resubmitted by replays. */
+    std::uint64_t traceGroupsReplayed = 0;
+    /** Speculations abandoned on an event mismatch. */
+    std::uint64_t traceAborts = 0;
+    /** Replays rejected by state/liveness validation. */
+    std::uint64_t traceValidationFailures = 0;
+    /** Current trace-cache population (gauge, survives reset). */
+    std::uint64_t traceEntries = 0;
+    /** Wall-clock submission seconds through the analyzed pipeline
+     * (planner + memoizer + lowering + hazard analysis). */
+    double plannedSubmitSeconds = 0.0;
+    /** Wall-clock submission seconds through trace replay. */
+    double replaySubmitSeconds = 0.0;
+
     void
     reset()
     {
         int keep = windowSize;
+        std::uint64_t entries = traceEntries;
         *this = FusionStats();
         windowSize = keep;
+        traceEntries = entries;
     }
 };
 
@@ -162,6 +201,9 @@ class DiffuseRuntime
     /** Definition 4 conditions (2)+(3) for the prefix [0, prefix_len). */
     bool liveAfterIndex(StoreId id, std::size_t prefix_len) const;
 
+    /** Condition (2) alone: an in-window successor reads/reduces. */
+    bool windowReadsBeyond(StoreId id, std::size_t prefix_len) const;
+
     void scheduleGroup(const ExecutionGroup &group);
 
     /** Drop window references of an emitted task; free dead stores. */
@@ -169,7 +211,67 @@ class DiffuseRuntime
 
     void destroyIfDead(StoreId id);
 
+    /** Apply a (possibly deferred) application release. */
+    void applyRelease(StoreId id);
+
     ExecutionGroup buildSingleCached(const IndexTask &task);
+
+    // ---- Trace-memoized window replay (core/trace.h) ----------------
+
+    enum class TraceMode : std::uint8_t {
+        Idle,        ///< epoch open, no event yet
+        Speculating, ///< events buffered, matching cached epochs
+        Capturing,   ///< processing normally while recording
+        Bypassed,    ///< processing normally, recording nothing
+    };
+
+    /** Tracing routes events (not disabled, not bypassed)? */
+    bool traceRouting() const;
+
+    /** Reset all per-epoch trace state; called after every flush. */
+    void traceBeginEpoch();
+
+    /** Route one event through the trace state machine. */
+    void traceOnEvent(TraceEvent ev);
+
+    /** Apply an event's semantics (window push + drain, retain,
+     * release) at event index `traceCurEvent_`. */
+    void traceApplyEvent(TraceEvent &ev);
+
+    /** Apply every deferred event in order (speculation fallback —
+     * the one drain all abort/poison paths share). */
+    void traceDrainPending();
+
+    /** Enter capture: start the runtime submission log. */
+    void traceBeginCapture();
+
+    /** Stop recording this epoch (kept processing normally). */
+    void traceSwitchToBypass();
+
+    /** Capture hook: record one emitted unit (after scheduleGroup). */
+    void traceRecordUnit(int prefix_len, FusionBlock block,
+                         const ExecutionGroup &group);
+
+    /** Store the captured epoch, if it stayed recordable. */
+    void traceFinalizeCapture();
+
+    /** At flush while speculating: replay if a candidate matched the
+     * whole epoch and validation passes. */
+    bool traceTryReplay();
+
+    /** Revalidate the liveness bits a candidate's units consumed. */
+    bool traceValidateProbes(const TraceEpoch &epoch) const;
+
+    void traceReplay(TraceEpoch &epoch);
+
+    void traceReplayUnit(const TraceUnit &unit,
+                         std::deque<IndexTask> &queue,
+                         std::vector<rt::EventId> &events);
+
+    /** Host acquired mutable access to `id` (LowRuntime observer).
+     * Mid-speculation this drains the deferred prefix eagerly, before
+     * the accessor reads store state. */
+    void traceOnHostWrite(StoreId id);
 
     DiffuseOptions options_;
     rt::LowRuntime low_;
@@ -188,6 +290,38 @@ class DiffuseRuntime
     std::unordered_map<std::string,
                        std::shared_ptr<kir::CompiledKernel>>
         singleCache_;
+
+    // ---- Trace state (see the private trace* methods) ----------------
+
+    bool traceEnabled_ = false;
+    TraceMode traceMode_ = TraceMode::Idle;
+    TraceCache traceCache_;
+    EpochEncoder traceEnc_;
+    /** Canonical codes of every event this epoch. */
+    std::vector<std::string> epochCodes_;
+    /** Per-slot runtime state signatures (first appearance). */
+    std::vector<std::uint64_t> traceSigs_;
+    /** Deferred events while speculating. */
+    std::vector<TraceEvent> tracePending_;
+    /** Surviving candidate epochs while speculating. */
+    std::vector<TraceEpoch *> traceCands_;
+    /** Epoch under capture. */
+    std::unique_ptr<TraceEpoch> traceRec_;
+    /** Runtime submission log (LowRuntime capture target). */
+    std::vector<rt::RecordedSubmission> traceLog_;
+    std::size_t traceLogMark_ = 0;
+    /** Probes collected by the wrapped liveness callback. */
+    std::vector<TraceProbe> traceProbes_;
+    /** Events received this epoch (== epochCodes_.size()). */
+    int traceEvent_ = 0;
+    /** Index of the event currently being applied (capture). */
+    int traceCurEvent_ = 0;
+    /** Unit-recording hooks active (Capturing mode). */
+    bool traceCaptureUnits_ = false;
+    /** Window growths this epoch (immune to FusionStats::reset). */
+    std::uint32_t traceEpochGrowths_ = 0;
+    /** Submission-side wall seconds accumulated this epoch. */
+    double traceEpochSeconds_ = 0.0;
 };
 
 } // namespace diffuse

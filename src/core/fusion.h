@@ -22,7 +22,17 @@
 
 namespace diffuse {
 
-/** A schedulable unit: one original task or one fused task. */
+/**
+ * A schedulable unit: one original task or one fused task.
+ *
+ * Groups are designed to be reusable artifacts rather than one-shot
+ * planner output: the kernel is shared (memo hits and trace replays
+ * alias it), and everything store-specific lives in `task.args` /
+ * `temps`, so a group re-instantiates against fresh stores by id
+ * substitution alone (Memoizer::instantiate; the trace layer applies
+ * the same parameterization to the *lowered* form in
+ * rt::RecordedSubmission).
+ */
 struct ExecutionGroup
 {
     IndexTask task;

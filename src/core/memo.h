@@ -14,6 +14,15 @@
  * because temporary elimination (Definition 4) depends on it: two
  * textually isomorphic groups with different liveness must not share
  * a plan.
+ *
+ * The canonical, store-id-parameterized form this cache introduces
+ * (slots + re-instantiation) is also the representation the trace
+ * layer (core/trace.h) builds on: trace replay extends the same
+ * alpha-equivalence from one group to a whole flushed window, and
+ * from the planner's output to the runtime's (pieces, exchange
+ * plans, hazard edges, timings). A trace hit therefore sits *above*
+ * this cache — replayed windows do not consult it, and its hit
+ * counters intentionally stop moving in traced steady state.
  */
 
 #ifndef DIFFUSE_CORE_MEMO_H

@@ -1,0 +1,130 @@
+#include "trace.h"
+
+#include "common/logging.h"
+
+namespace diffuse {
+
+namespace {
+
+void
+append64(std::string &out, std::uint64_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+appendRect(std::string &out, const Rect &r)
+{
+    append64(out, std::uint64_t(r.dim()));
+    for (int d = 0; d < r.dim(); d++) {
+        append64(out, std::uint64_t(r.lo[d]));
+        append64(out, std::uint64_t(r.hi[d]));
+    }
+}
+
+} // namespace
+
+void
+EpochEncoder::reset(int window_size)
+{
+    slotOf_.clear();
+    slots_.clear();
+    windowSize_ = window_size;
+    first_ = true;
+}
+
+int
+EpochEncoder::slotOf(StoreId id) const
+{
+    auto it = slotOf_.find(id);
+    return it == slotOf_.end() ? -1 : it->second;
+}
+
+int
+EpochEncoder::slotFor(StoreId id, const StoreTable &stores,
+                      std::string &code,
+                      std::vector<StoreId> *new_stores)
+{
+    auto [it, fresh] = slotOf_.emplace(id, int(slots_.size()));
+    append64(code, std::uint64_t(it->second));
+    if (fresh) {
+        slots_.push_back(id);
+        if (new_stores)
+            new_stores->push_back(id);
+        // Embed the new slot's planner-visible facts at its
+        // introduction site: matching code streams then agree on
+        // every store's shape and dtype, not just its access pattern.
+        const StoreMeta &meta = stores.get(id);
+        append64(code, 1); // new-slot marker
+        appendRect(code, meta.shape);
+        append64(code, std::uint64_t(meta.dtype));
+    } else {
+        append64(code, 0);
+    }
+    return it->second;
+}
+
+std::string
+EpochEncoder::encode(const TraceEvent &ev, const StoreTable &stores,
+                     std::vector<StoreId> *new_stores)
+{
+    std::string code;
+    code.reserve(64);
+    if (first_) {
+        // The entry window size shapes every processing decision.
+        append64(code, 0x57494E00u | std::uint64_t(windowSize_) << 32);
+        first_ = false;
+    }
+    append64(code, std::uint64_t(ev.kind));
+    switch (ev.kind) {
+      case TraceEventKind::Submit: {
+        const IndexTask &t = ev.task;
+        append64(code, t.type);
+        appendRect(code, t.launchDomain);
+        append64(code, t.args.size());
+        for (const StoreArg &arg : t.args) {
+            slotFor(arg.store, stores, code, new_stores);
+            append64(code, arg.part.structuralHash());
+            append64(code, std::uint64_t(arg.priv));
+            append64(code, std::uint64_t(arg.redop));
+        }
+        // Scalar *positions* matter; values are rebound on replay.
+        append64(code, t.scalars.size());
+        break;
+      }
+      case TraceEventKind::Retain:
+      case TraceEventKind::Release:
+        slotFor(ev.store, stores, code, new_stores);
+        break;
+    }
+    return code;
+}
+
+const std::vector<std::unique_ptr<TraceEpoch>> *
+TraceCache::candidates(const std::string &first_code) const
+{
+    auto it = byFirst_.find(first_code);
+    return it == byFirst_.end() ? nullptr : &it->second;
+}
+
+bool
+TraceCache::store(std::unique_ptr<TraceEpoch> epoch)
+{
+    diffuse_assert(!epoch->codes.empty(), "empty trace epoch");
+    std::vector<std::unique_ptr<TraceEpoch>> &list =
+        byFirst_[epoch->codes.front()];
+    for (std::unique_ptr<TraceEpoch> &existing : list) {
+        if (existing->codes == epoch->codes) {
+            epoch->replays = existing->replays;
+            existing = std::move(epoch); // refresh stale validation data
+            return true;
+        }
+    }
+    if (entries_ >= kTraceMaxEntries)
+        return false;
+    list.push_back(std::move(epoch));
+    entries_++;
+    return true;
+}
+
+} // namespace diffuse

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Trace-memoized window replay (the paper's §5.2 memoization carried
+ * to its logical end, in the spirit of Legion's tracing): the middle
+ * layer hashes each flushed window's *event stream* — submitted tasks
+ * (types, launch domains, partitions, privileges, store facts) and
+ * application retain/release events, with store ids canonicalized to
+ * first-appearance slots — and, when an epoch repeats, bypasses the
+ * fusion planner, constraint checker, memo encoder, lowering and
+ * hazard analysis entirely: the cached schedulable units (compiled
+ * kernels, promoted privileges, expanded pieces, exchange Copy tasks,
+ * dependence edges, cost-model timings) are resubmitted with only the
+ * concrete store buffers and scalar values rebound.
+ *
+ * Correctness rests on three checks before a replay commits:
+ *  1. the canonical event codes match position by position (this also
+ *     pins window size, store shapes and dtypes);
+ *  2. every store's submission-visible runtime state (coherence
+ *     record + shard placement maps) matches its capture-time
+ *     signature, so recorded exchanges and timings remain exact;
+ *  3. every liveness bit temporary-store elimination consumed is
+ *     revalidated against the replay window's application refcounts.
+ * Any mismatch falls back to the analyzed path (and re-captures), so
+ * DIFFUSE_TRACE=0 — which disables the layer outright — is a pure
+ * differential oracle: results are bit-identical either way.
+ */
+
+#ifndef DIFFUSE_CORE_TRACE_H
+#define DIFFUSE_CORE_TRACE_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/index_task.h"
+#include "core/store.h"
+#include "runtime/runtime.h"
+
+namespace diffuse {
+
+/** Upper bound on events recorded per epoch (memory backstop). */
+constexpr int kTraceMaxEvents = 4096;
+/** Upper bound on cached epochs per runtime instance. */
+constexpr std::size_t kTraceMaxEntries = 64;
+
+/** One middle-layer event between two window flushes. */
+enum class TraceEventKind : std::uint8_t {
+    Submit,  ///< an index task entered the window
+    Retain,  ///< the application took a store reference
+    Release, ///< the application dropped a store reference
+};
+
+struct TraceEvent
+{
+    TraceEventKind kind = TraceEventKind::Submit;
+    IndexTask task;                 ///< Submit only
+    StoreId store = INVALID_STORE;  ///< Retain/Release only
+};
+
+/**
+ * One liveness bit temporary elimination read during capture, for a
+ * store whose in-window successors did *not* keep it alive — i.e. the
+ * decision hinged on the application refcount, which replay must
+ * re-check (the in-window component is implied by matching codes).
+ */
+struct TraceProbe
+{
+    int slot = 0;
+    bool appLive = false;
+};
+
+/** One schedulable unit of a captured epoch. */
+struct TraceUnit
+{
+    /** Window tasks this unit consumed. */
+    int prefixLen = 1;
+    /** Index of the event whose processing emitted the unit (== the
+     * epoch's event count for flush-emitted units). */
+    int endEvent = 0;
+    FusionBlock block = FusionBlock::None;
+    bool fused = false;
+    std::uint32_t temps = 0;
+    std::vector<TraceProbe> probes;
+    /** Runtime submissions, in order: exchange Copies, then the
+     * compute task. Store ids inside are epoch slot indices. */
+    std::vector<rt::RecordedSubmission> subs;
+};
+
+/** A fully captured epoch: the replayable planner/runtime output. */
+struct TraceEpoch
+{
+    /** Canonical per-event encodings (code 0 embeds the entry window
+     * size; each code embeds shape/dtype facts of new slots). */
+    std::vector<std::string> codes;
+    /** Per-slot runtime state signature at first appearance. */
+    std::vector<std::uint64_t> slotSigs;
+    std::vector<TraceUnit> units;
+    int windowSizeAfter = 0;
+    std::uint32_t growths = 0;
+    std::uint64_t replays = 0;
+};
+
+/**
+ * Incremental canonical encoder for one epoch's event stream. Store
+ * ids map to slots in first-appearance order (the alpha-equivalence
+ * of memo.h, extended across a whole epoch); each new slot's shape
+ * and dtype are embedded at its introduction site, so two epochs with
+ * identical code sequences agree on everything the planner reads.
+ */
+class EpochEncoder
+{
+  public:
+    void reset(int window_size);
+
+    /**
+     * Encode one event. New stores are assigned slots and appended to
+     * `new_stores` (callers snapshot their runtime state signatures
+     * immediately — nothing in the epoch has touched them yet).
+     */
+    std::string encode(const TraceEvent &ev, const StoreTable &stores,
+                       std::vector<StoreId> *new_stores);
+
+    /** Slot of a store, or -1 when it has not appeared this epoch. */
+    int slotOf(StoreId id) const;
+
+    /** Store id of each slot, in first-appearance order. */
+    const std::vector<StoreId> &slots() const { return slots_; }
+
+  private:
+    int slotFor(StoreId id, const StoreTable &stores, std::string &code,
+                std::vector<StoreId> *new_stores);
+
+    std::unordered_map<StoreId, int> slotOf_;
+    std::vector<StoreId> slots_;
+    int windowSize_ = 0;
+    bool first_ = true;
+};
+
+/**
+ * The per-runtime trace store. Epochs are bucketed by their first
+ * event code, so speculation starts with the (few) candidates whose
+ * opening matches and narrows them as events arrive.
+ */
+class TraceCache
+{
+  public:
+    /** Candidate epochs whose stream opens with `first_code`. */
+    const std::vector<std::unique_ptr<TraceEpoch>> *
+    candidates(const std::string &first_code) const;
+
+    /**
+     * Store a captured epoch. An existing epoch with the identical
+     * code sequence is replaced (its state signatures or liveness
+     * bits went stale); otherwise the epoch is appended, unless the
+     * cache is full — then it is dropped and false returned.
+     */
+    bool store(std::unique_ptr<TraceEpoch> epoch);
+
+    std::size_t entries() const { return entries_; }
+
+  private:
+    std::unordered_map<std::string,
+                       std::vector<std::unique_ptr<TraceEpoch>>>
+        byFirst_;
+    std::size_t entries_ = 0;
+};
+
+} // namespace diffuse
+
+#endif // DIFFUSE_CORE_TRACE_H

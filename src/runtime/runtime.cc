@@ -196,6 +196,8 @@ LowRuntime::storeDtype(StoreId id) const
 double *
 LowRuntime::dataF64(StoreId id)
 {
+    if (hostWriteObserver_)
+        hostWriteObserver_(id);
     stream_.waitStore(id);
     StoreRec &r = rec(id);
     diffuse_assert(r.dtype == DType::F64, "store %llu is not f64",
@@ -214,6 +216,8 @@ LowRuntime::dataF64(StoreId id)
 std::int32_t *
 LowRuntime::dataI32(StoreId id)
 {
+    if (hostWriteObserver_)
+        hostWriteObserver_(id);
     stream_.waitStore(id);
     StoreRec &r = rec(id);
     diffuse_assert(r.dtype == DType::I32, "store %llu is not i32",
@@ -227,6 +231,8 @@ LowRuntime::dataI32(StoreId id)
 std::int64_t *
 LowRuntime::dataI64(StoreId id)
 {
+    if (hostWriteObserver_)
+        hostWriteObserver_(id);
     stream_.waitStore(id);
     StoreRec &r = rec(id);
     diffuse_assert(r.dtype == DType::I64, "store %llu is not i64",
@@ -240,6 +246,8 @@ LowRuntime::dataI64(StoreId id)
 void
 LowRuntime::markInitialized(StoreId id)
 {
+    if (hostWriteObserver_)
+        hostWriteObserver_(id);
     stream_.waitStore(id);
     StoreRec &r = rec(id);
     r.replicatedValid = true;
@@ -503,6 +511,37 @@ LowRuntime::submit(LaunchedTask task)
     // submission — submission order is program order, so the coherence
     // walk matches the sequential semantics even though execution is
     // deferred.
+    applyCoherence(task);
+
+    stats_.overheadTime += timing.analysisSeconds +
+                           machine_.launchOverhead * task.numPoints;
+    stats_.collectiveTime += collective;
+
+    // Only Real mode shards retired point tasks, so only it pays for
+    // the independence analysis.
+    task.parallelSafe = mode_ == ExecutionMode::Real &&
+                        pool_.workers() > 1 && pointsIndependent(task);
+
+    for (const LowArg &arg : task.args)
+        rec(arg.store).pendingUses++;
+
+    EventId id;
+    if (captureLog_) {
+        LaunchedTask task_copy = task;
+        TaskTiming timing_copy = timing;
+        SubmitTrace trace;
+        id = stream_.submit(std::move(task), std::move(timing), &trace);
+        recordSubmission(task_copy, timing_copy, trace, id);
+    } else {
+        id = stream_.submit(std::move(task), std::move(timing));
+    }
+    foldScheduleClocks();
+    return id;
+}
+
+void
+LowRuntime::applyCoherence(const LaunchedTask &task)
+{
     for (const LowArg &arg : task.args) {
         StoreRec &store = rec(arg.store);
         if (privWrites(arg.priv)) {
@@ -522,20 +561,11 @@ LowRuntime::submit(LaunchedTask task)
             store.lastWritePieces.clear();
         }
     }
+}
 
-    stats_.overheadTime += timing.analysisSeconds +
-                           machine_.launchOverhead * task.numPoints;
-    stats_.collectiveTime += collective;
-
-    // Only Real mode shards retired point tasks, so only it pays for
-    // the independence analysis.
-    task.parallelSafe = mode_ == ExecutionMode::Real &&
-                        pool_.workers() > 1 && pointsIndependent(task);
-
-    for (const LowArg &arg : task.args)
-        rec(arg.store).pendingUses++;
-
-    EventId id = stream_.submit(std::move(task), std::move(timing));
+void
+LowRuntime::foldScheduleClocks()
+{
     // Accumulate deltas (not totals) so RuntimeStats::reset() scopes
     // simTime/busyTime to a measurement phase as it always did.
     double critical = stream_.stats().criticalPathTime;
@@ -544,7 +574,158 @@ LowRuntime::submit(LaunchedTask task)
     stats_.busyTime += busy - lastBusyTime_;
     lastCriticalPath_ = critical;
     lastBusyTime_ = busy;
+}
+
+void
+LowRuntime::beginSubmitCapture(std::vector<RecordedSubmission> *log)
+{
+    diffuse_assert(captureLog_ == nullptr, "nested submit capture");
+    diffuse_assert(stream_.pending() == 0,
+                   "submit capture must start post-fence");
+    captureLog_ = log;
+    captureIndex_.clear();
+    captureStatsMark_ = stats_;
+    captureShardMark_ = shards_.stats();
+}
+
+void
+LowRuntime::endSubmitCapture()
+{
+    captureLog_ = nullptr;
+    captureIndex_.clear();
+}
+
+void
+LowRuntime::recordSubmission(const LaunchedTask &task,
+                             const TaskTiming &timing,
+                             const SubmitTrace &trace, EventId id)
+{
+    RecordedSubmission rec;
+    rec.task = task;
+    rec.timing = timing;
+    rec.rawDeps = trace.rawDeps;
+    rec.warDeps = trace.warDeps;
+    rec.wawDeps = trace.wawDeps;
+    rec.deps.reserve(trace.deps.size());
+    for (EventId d : trace.deps) {
+        auto it = captureIndex_.find(d);
+        // Epochs begin post-fence, so every pending dependency was
+        // itself submitted (and recorded) within this epoch.
+        diffuse_assert(it != captureIndex_.end(),
+                       "dependency %llu outside the captured epoch",
+                       (unsigned long long)d);
+        rec.deps.push_back(it->second);
+    }
+
+    // Everything submission-side accounting added since the previous
+    // recorded submission belongs to this one (planned exchanges of a
+    // compute task attach to its first Copy; the aggregate is exact).
+    SubmitStatsDelta &d = rec.stats;
+    d.bytesHbm = stats_.bytesHbm - captureStatsMark_.bytesHbm;
+    d.commTime = stats_.commTime - captureStatsMark_.commTime;
+    d.computeTime = stats_.computeTime - captureStatsMark_.computeTime;
+    d.overheadTime =
+        stats_.overheadTime - captureStatsMark_.overheadTime;
+    d.collectiveTime =
+        stats_.collectiveTime - captureStatsMark_.collectiveTime;
+    d.bytesIntraNode =
+        stats_.bytesIntraNode - captureStatsMark_.bytesIntraNode;
+    d.bytesInterNode =
+        stats_.bytesInterNode - captureStatsMark_.bytesInterNode;
+    d.exchangeBytes =
+        stats_.exchangeBytes - captureStatsMark_.exchangeBytes;
+    d.collectives = stats_.collectives - captureStatsMark_.collectives;
+    d.copyTasks = stats_.copyTasks - captureStatsMark_.copyTasks;
+    d.indexTasks = stats_.indexTasks - captureStatsMark_.indexTasks;
+    d.pointTasks = stats_.pointTasks - captureStatsMark_.pointTasks;
+    const ShardStats &ss = shards_.stats();
+    d.shardCopies = ss.copiesPlanned - captureShardMark_.copiesPlanned;
+    d.shardGathers =
+        ss.gathersPlanned - captureShardMark_.gathersPlanned;
+    d.shardHostPulls = ss.hostPulls - captureShardMark_.hostPulls;
+    captureStatsMark_ = stats_;
+    captureShardMark_ = ss;
+
+    captureIndex_.emplace(id, std::uint32_t(captureLog_->size()));
+    captureLog_->push_back(std::move(rec));
+}
+
+EventId
+LowRuntime::submitRecorded(const RecordedSubmission &recorded,
+                           const std::vector<StoreId> &slot_stores,
+                           const std::vector<double> *scalars,
+                           const std::vector<EventId> &epoch_events)
+{
+    LaunchedTask task = recorded.task;
+    for (LowArg &a : task.args) {
+        diffuse_assert(a.store < slot_stores.size(),
+                       "recorded slot %llu out of range",
+                       (unsigned long long)a.store);
+        a.store = slot_stores[std::size_t(a.store)];
+    }
+    if (task.kind == TaskKind::Copy)
+        task.copy.store = slot_stores[std::size_t(task.copy.store)];
+    if (scalars)
+        task.scalars = *scalars;
+
+    // Recorded cost-model and exchange accounting, verbatim.
+    const SubmitStatsDelta &d = recorded.stats;
+    stats_.bytesHbm += d.bytesHbm;
+    stats_.commTime += d.commTime;
+    stats_.computeTime += d.computeTime;
+    stats_.overheadTime += d.overheadTime;
+    stats_.collectiveTime += d.collectiveTime;
+    stats_.bytesIntraNode += d.bytesIntraNode;
+    stats_.bytesInterNode += d.bytesInterNode;
+    stats_.exchangeBytes += d.exchangeBytes;
+    stats_.collectives += d.collectives;
+    stats_.copyTasks += d.copyTasks;
+    stats_.indexTasks += d.indexTasks;
+    stats_.pointTasks += d.pointTasks;
+    shards_.addReplayedPlans(d.shardCopies, d.shardGathers,
+                             d.shardHostPulls);
+
+    if (task.kind == TaskKind::Compute) {
+        // Evolve the placement map and coherence records exactly as
+        // the analyzed submission did — without planning (the epoch's
+        // recorded Copy tasks are resubmitted verbatim).
+        shards_.replayTask(task);
+        applyCoherence(task);
+    }
+
+    for (const LowArg &arg : task.args)
+        rec(arg.store).pendingUses++;
+
+    SubmitTrace trace;
+    trace.rawDeps = recorded.rawDeps;
+    trace.warDeps = recorded.warDeps;
+    trace.wawDeps = recorded.wawDeps;
+    trace.deps.reserve(recorded.deps.size());
+    for (std::uint32_t idx : recorded.deps) {
+        diffuse_assert(idx < epoch_events.size(),
+                       "recorded dependency %u outside replay epoch",
+                       idx);
+        trace.deps.push_back(epoch_events[std::size_t(idx)]);
+    }
+    EventId id = stream_.submitPrelinked(std::move(task),
+                                         recorded.timing, trace);
+    foldScheduleClocks();
     return id;
+}
+
+std::uint64_t
+LowRuntime::storeStateSignature(StoreId id) const
+{
+    auto it = stores_.find(id);
+    if (it == stores_.end())
+        return 0;
+    const StoreRec &r = it->second;
+    std::uint64_t h = 0x434f4845u; // "COHE"
+    hashCombine64(h, r.lastWriteLayout);
+    hashCombine64(h, r.replicatedValid ? 1 : 0);
+    hashCombineRects(h, r.lastWritePieces);
+    hashCombine64(h, shards_.stateSignature(id));
+    return h;
 }
 
 void
@@ -589,7 +770,16 @@ LowRuntime::submitCopy(const CopyDesc &c)
     timing.pointSeconds = {seconds};
     stats_.copyTasks++;
     rec(c.store).pendingUses++;
-    stream_.submit(std::move(t), std::move(timing));
+    if (captureLog_) {
+        LaunchedTask task_copy = t;
+        TaskTiming timing_copy = timing;
+        SubmitTrace trace;
+        EventId id =
+            stream_.submit(std::move(t), std::move(timing), &trace);
+        recordSubmission(task_copy, timing_copy, trace, id);
+    } else {
+        stream_.submit(std::move(t), std::move(timing));
+    }
 }
 
 void

@@ -95,6 +95,54 @@ struct RuntimeStats
     void reset() { *this = RuntimeStats(); }
 };
 
+/**
+ * Submission-side stat increments attributed to one recorded stream
+ * submission: everything `LowRuntime::submit`/`submitCopy` adds to
+ * RuntimeStats and ShardStats *except* the schedule clocks
+ * (simTime/busyTime), which replay recomputes exactly through the
+ * stream, and the execution-side counters (storesMaterialized,
+ * tasksSharded), which accrue at retirement either way.
+ */
+struct SubmitStatsDelta
+{
+    double bytesHbm = 0.0;
+    double commTime = 0.0;
+    double computeTime = 0.0;
+    double overheadTime = 0.0;
+    double collectiveTime = 0.0;
+    double bytesIntraNode = 0.0;
+    double bytesInterNode = 0.0;
+    double exchangeBytes = 0.0;
+    std::uint64_t collectives = 0;
+    std::uint64_t copyTasks = 0;
+    std::uint64_t indexTasks = 0;
+    std::uint64_t pointTasks = 0;
+    std::uint64_t shardCopies = 0;
+    std::uint64_t shardGathers = 0;
+    std::uint64_t shardHostPulls = 0;
+};
+
+/**
+ * One stream submission captured for trace replay: the fully lowered
+ * task (pieces expanded, shard bindings and parallel-safety decided),
+ * its cost model, its hazard edges as indices into the epoch's
+ * submission sequence, and its stat increments. Store ids inside
+ * `task` (and `task.copy`) are canonicalized to *epoch slot indices*
+ * by the capturing layer; `submitRecorded` rebinds them against the
+ * replay window's concrete stores.
+ */
+struct RecordedSubmission
+{
+    LaunchedTask task;
+    TaskTiming timing;
+    /** Hazard edges: positions in the epoch's submission order. */
+    std::vector<std::uint32_t> deps;
+    std::uint32_t rawDeps = 0;
+    std::uint32_t warDeps = 0;
+    std::uint32_t wawDeps = 0;
+    SubmitStatsDelta stats;
+};
+
 /** Pieces of an image partition, registered by libraries. */
 struct ImageData
 {
@@ -202,6 +250,55 @@ class LowRuntime
     /** Live store count, excluding zombies (leak checks in tests). */
     std::size_t liveStores() const { return stores_.size() - zombies_; }
 
+    // ---- Trace capture & replay (see core/trace.h) -------------------
+
+    /**
+     * Start recording every stream submission (compute and Copy) into
+     * `log`, with hazard edges rewritten as epoch-local indices and
+     * stat increments attributed per submission. Must be called when
+     * nothing is pending (post-fence); active until endSubmitCapture.
+     */
+    void beginSubmitCapture(std::vector<RecordedSubmission> *log);
+    void endSubmitCapture();
+    bool capturing() const { return captureLog_ != nullptr; }
+
+    /**
+     * Resubmit a recorded submission: rebind slot-indexed store ids
+     * through `slot_stores` (and `scalars`, when non-null, replaces
+     * the recorded scalar values — they are loop-variant), re-apply
+     * the recorded placement/coherence mutations and stat deltas, and
+     * enqueue through the stream with the recorded hazard edges and
+     * timing. `epoch_events[i]` must hold the EventId returned for the
+     * epoch's i-th replayed submission.
+     */
+    EventId submitRecorded(const RecordedSubmission &recorded,
+                           const std::vector<StoreId> &slot_stores,
+                           const std::vector<double> *scalars,
+                           const std::vector<EventId> &epoch_events);
+
+    /**
+     * Digest of everything submission-side planning reads from a
+     * store's mutable runtime state: the coherence record (last-write
+     * layout and pieces, replicated validity) and the shard placement
+     * maps. Two stores with equal shapes/dtypes and equal signatures
+     * make `submit` plan identical exchanges, charge identical
+     * communication, and record identical timing — the precondition
+     * for replaying a recorded submission against them.
+     */
+    std::uint64_t storeStateSignature(StoreId id) const;
+
+    /**
+     * Observer invoked whenever host code acquires mutable access to
+     * a store (dataF64/I32/I64, markInitialized). The trace layer
+     * uses it to stop speculating/capturing epochs whose stores are
+     * mutated behind the submission stream's back.
+     */
+    void
+    setHostWriteObserver(std::function<void(StoreId)> fn)
+    {
+        hostWriteObserver_ = std::move(fn);
+    }
+
   private:
     /**
      * A store allocation. Unlike std::vector, alloc() leaves memory
@@ -267,6 +364,17 @@ class LowRuntime
 
     /** Submit one planned exchange as a Copy task (hazard-tracked). */
     void submitCopy(const CopyDesc &c);
+
+    /** Coherence updates for written/reduced stores (program order). */
+    void applyCoherence(const LaunchedTask &task);
+
+    /** Fold the stream's schedule clocks into simTime/busyTime. */
+    void foldScheduleClocks();
+
+    /** Capture hook: record one stream submission (post-analysis). */
+    void recordSubmission(const LaunchedTask &task,
+                          const TaskTiming &timing,
+                          const SubmitTrace &trace, EventId id);
 
     /** Build executor bindings for point `p`. */
     void buildBindings(const LaunchedTask &task, int p,
@@ -334,6 +442,15 @@ class LowRuntime
      * RuntimeStats::reset() keeps working). */
     double lastCriticalPath_ = 0.0;
     double lastBusyTime_ = 0.0;
+
+    /** Trace capture state (null when not capturing). */
+    std::vector<RecordedSubmission> *captureLog_ = nullptr;
+    /** EventId -> index in the epoch's submission order. */
+    std::unordered_map<EventId, std::uint32_t> captureIndex_;
+    /** Stat snapshots for per-submission delta attribution. */
+    RuntimeStats captureStatsMark_;
+    ShardStats captureShardMark_;
+    std::function<void(StoreId)> hostWriteObserver_;
 };
 
 } // namespace rt

@@ -443,6 +443,118 @@ ShardManager::planTask(LaunchedTask &task, std::vector<CopyDesc> &copies)
 }
 
 void
+ShardManager::replayTask(const LaunchedTask &task)
+{
+    if (!active() || task.kind == TaskKind::Copy)
+        return;
+    std::size_t na = task.args.size();
+    diffuse_assert(task.argCanonical.size() == na,
+                   "replayed task %s lacks recorded binding decisions",
+                   task.name.c_str());
+
+    // ---- Read effects (what planPull/planGather leave behind) -------
+    for (std::size_t i = 0; i < na; i++) {
+        const LowArg &a = task.args[i];
+        StoreState &s = state(a.store);
+        if (task.argCanonical[i]) {
+            // planGather touches hostValid only when something was
+            // missing; replicate the condition so the rectangle-list
+            // *representation* (not just its coverage) stays equal to
+            // the analyzed path — state signatures compare lists.
+            if ((privReads(a.priv) || privReduces(a.priv)) &&
+                !uncovered(s.hostValid, s.shape).empty()) {
+                s.hostValid = {s.shape};
+            }
+            continue;
+        }
+        for (std::size_t p = 0; p < a.pieces.size(); p++) {
+            const Rect &piece = a.pieces[p];
+            if (piece.empty())
+                continue;
+            int r = rankOf(int(p));
+            ensureShardCovers(s, r, piece);
+            if (privReads(a.priv)) {
+                Shard &dst = s.shards[std::size_t(r)];
+                if (!uncovered(dst.valid, piece).empty())
+                    markValid(dst.valid, piece);
+            }
+        }
+    }
+
+    // ---- Write effects: identical to planTask (program order) -------
+    for (std::size_t i = 0; i < na; i++) {
+        const LowArg &a = task.args[i];
+        StoreState &s = state(a.store);
+        if (privReduces(a.priv)) {
+            s.hostValid = {s.shape};
+            for (Shard &sh : s.shards)
+                sh.valid.clear();
+            s.hasOwner = false;
+            continue;
+        }
+        if (!privWrites(a.priv))
+            continue;
+        if (task.argCanonical[i]) {
+            if (a.replicated) {
+                s.hostValid = {s.shape};
+                for (Shard &sh : s.shards)
+                    sh.valid.clear();
+                s.hasOwner = false;
+            } else {
+                for (const Rect &piece : a.pieces) {
+                    if (piece.empty())
+                        continue;
+                    markValid(s.hostValid, piece);
+                    for (Shard &sh : s.shards)
+                        invalidate(sh.valid, piece);
+                }
+            }
+            continue;
+        }
+        for (std::size_t p = 0; p < a.pieces.size(); p++) {
+            const Rect &piece = a.pieces[p];
+            if (piece.empty())
+                continue;
+            int r = rankOf(int(p));
+            invalidate(s.hostValid, piece);
+            for (int r2 = 0; r2 < ranks_; r2++) {
+                if (r2 != r)
+                    invalidate(s.shards[std::size_t(r2)].valid, piece);
+            }
+            markValid(s.shards[std::size_t(r)].valid, piece);
+        }
+        s.hasOwner = true;
+        s.ownerPart = a.part;
+        s.ownerDomain = task.launchDomain;
+        s.ownerPieces = a.pieces;
+    }
+}
+
+std::uint64_t
+ShardManager::stateSignature(StoreId id) const
+{
+    if (!active())
+        return 0;
+    auto it = stores_.find(id);
+    if (it == stores_.end())
+        return 0;
+    const StoreState &s = it->second;
+    std::uint64_t h = 0x5348415244u; // "SHARD"
+    hashCombine64(h, s.hasOwner ? 1 : 0);
+    if (s.hasOwner) {
+        hashCombine64(h, s.ownerPart.structuralHash());
+        hashCombineRect(h, s.ownerDomain);
+        hashCombineRects(h, s.ownerPieces);
+    }
+    hashCombineRects(h, s.hostValid);
+    for (const Shard &sh : s.shards) {
+        hashCombineRect(h, sh.rect);
+        hashCombineRects(h, sh.valid);
+    }
+    return h;
+}
+
+void
 ShardManager::executeCopy(const CopyDesc &copy, std::byte *canonical)
 {
     if (mode_ != ExecutionMode::Real)

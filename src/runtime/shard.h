@@ -110,6 +110,26 @@ class ShardManager
     void planTask(LaunchedTask &task, std::vector<CopyDesc> &copies);
 
     /**
+     * Re-apply the placement-map mutations `planTask` makes for a
+     * task whose exchanges were already planned and recorded (trace
+     * replay): shard coverage growth, pulled-piece and gather
+     * validity, and write effects — in the same order, but with no
+     * owner scanning, since the recorded Copy tasks are resubmitted
+     * verbatim. Only sound when the per-store placement state matches
+     * the capture-time state; the trace layer validates that with
+     * `stateSignature` before committing to a replay.
+     */
+    void replayTask(const LaunchedTask &task);
+
+    /**
+     * Order-sensitive digest of a store's placement state (validity
+     * lists, shard bounding boxes, structured-owner hint). Equal
+     * signatures mean `planTask` would plan the identical exchanges.
+     * Returns 0 when sharding is inactive or the store is unknown.
+     */
+    std::uint64_t stateSignature(StoreId id) const;
+
+    /**
      * Execute one retired Copy task (Real mode): the verbatim memcpy
      * between shard buffers and/or the canonical allocation
      * (`canonical` may be null when neither endpoint is rank -1).
@@ -133,6 +153,17 @@ class ShardManager
 
     const ShardStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
+
+    /** Credit planning counters recorded at capture (trace replay
+     * resubmits the planned copies without re-planning them). */
+    void
+    addReplayedPlans(std::uint64_t copies, std::uint64_t gathers,
+                     std::uint64_t host_pulls)
+    {
+        stats_.copiesPlanned += copies;
+        stats_.gathersPlanned += gathers;
+        stats_.hostPulls += host_pulls;
+    }
 
   private:
     struct Shard

@@ -54,14 +54,9 @@ TaskStream::compactHistory(StoreHistory &h)
 }
 
 EventId
-TaskStream::submit(LaunchedTask task, TaskTiming timing)
+TaskStream::submit(LaunchedTask task, TaskTiming timing,
+                   SubmitTrace *trace_out)
 {
-    diffuse_assert(int(timing.pointSeconds.size()) == task.numPoints,
-                   "timing for %zu of %d points",
-                   timing.pointSeconds.size(), task.numPoints);
-    EventId id = next_++;
-    stats_.submitted++;
-
     // ---- Hazard detection against the access history ----------------
     //
     // Reads depend on the last overlapping write (RAW). Writes depend
@@ -70,9 +65,10 @@ TaskStream::submit(LaunchedTask task, TaskTiming timing)
     // ordered like writes, which also keeps their merge order — and
     // hence floating-point results — deterministic.
     std::vector<EventId> deps;
+    std::uint32_t raw = 0, war = 0, waw = 0;
     double dep_finish = 0.0;
-    auto add_dep = [&](const AccessRec &a, std::uint64_t &kind) {
-        if (a.id == NO_EVENT || a.id == id)
+    auto add_dep = [&](const AccessRec &a, std::uint32_t &kind) {
+        if (a.id == NO_EVENT)
             return;
         dep_finish = std::max(dep_finish, a.finish);
         if (pending_.count(a.id)) {
@@ -91,7 +87,7 @@ TaskStream::submit(LaunchedTask task, TaskTiming timing)
         if (privReads(arg.priv) || privReduces(arg.priv)) {
             for (const AccessRec &w : h.writes) {
                 if (overlaps(arg.replicated, arg.pieces, w))
-                    add_dep(w, stats_.rawDeps);
+                    add_dep(w, raw);
             }
             dep_finish = std::max(dep_finish, h.writeFinishFloor);
         }
@@ -99,17 +95,79 @@ TaskStream::submit(LaunchedTask task, TaskTiming timing)
             if (!privReads(arg.priv)) {
                 for (const AccessRec &w : h.writes) {
                     if (overlaps(arg.replicated, arg.pieces, w))
-                        add_dep(w, stats_.wawDeps);
+                        add_dep(w, waw);
                 }
             }
             for (const AccessRec &r : h.reads) {
                 if (overlaps(arg.replicated, arg.pieces, r))
-                    add_dep(r, stats_.warDeps);
+                    add_dep(r, war);
             }
             dep_finish = std::max(dep_finish, h.writeFinishFloor);
             dep_finish = std::max(dep_finish, h.readFinishFloor);
         }
     }
+    stats_.rawDeps += raw;
+    stats_.warDeps += war;
+    stats_.wawDeps += waw;
+    if (trace_out) {
+        trace_out->deps = deps;
+        trace_out->rawDeps = raw;
+        trace_out->warDeps = war;
+        trace_out->wawDeps = waw;
+    }
+    return finishSubmit(std::move(task), std::move(timing),
+                        std::move(deps), dep_finish);
+}
+
+EventId
+TaskStream::submitPrelinked(LaunchedTask task, TaskTiming timing,
+                            const SubmitTrace &trace)
+{
+    // The recorded edges replace the history scan. Floors still apply:
+    // retired work (including the recorded dependencies that already
+    // retired through the in-flight bound) folded its finish times
+    // there, exactly as the analyzed path would have observed after
+    // compaction.
+    double dep_finish = 0.0;
+    for (const LowArg &arg : task.args) {
+        auto it = history_.find(arg.store);
+        if (it == history_.end())
+            continue;
+        StoreHistory &h = it->second;
+        compactHistory(h);
+        bool mutates = privWrites(arg.priv) || privReduces(arg.priv);
+        if (privReads(arg.priv) || privReduces(arg.priv))
+            dep_finish = std::max(dep_finish, h.writeFinishFloor);
+        if (mutates) {
+            dep_finish = std::max(dep_finish, h.writeFinishFloor);
+            dep_finish = std::max(dep_finish, h.readFinishFloor);
+        }
+    }
+    std::vector<EventId> deps;
+    deps.reserve(trace.deps.size());
+    for (EventId d : trace.deps) {
+        auto it = pending_.find(d);
+        if (it == pending_.end())
+            continue; // already retired: its finish is in the floors
+        dep_finish = std::max(dep_finish, it->second.finish);
+        deps.push_back(d);
+    }
+    stats_.rawDeps += trace.rawDeps;
+    stats_.warDeps += trace.warDeps;
+    stats_.wawDeps += trace.wawDeps;
+    return finishSubmit(std::move(task), std::move(timing),
+                        std::move(deps), dep_finish);
+}
+
+EventId
+TaskStream::finishSubmit(LaunchedTask task, TaskTiming timing,
+                         std::vector<EventId> deps, double dep_finish)
+{
+    diffuse_assert(int(timing.pointSeconds.size()) == task.numPoints,
+                   "timing for %zu of %d points",
+                   timing.pointSeconds.size(), task.numPoints);
+    EventId id = next_++;
+    stats_.submitted++;
 
     // ---- Overlap-aware simulated schedule ----------------------------
     //

@@ -146,6 +146,21 @@ struct TaskTiming
     double analysisSeconds = 0.0;
 };
 
+/**
+ * The result of one hazard analysis, exported so trace capture can
+ * record it and trace replay can feed it back verbatim
+ * (`submitPrelinked`), skipping the history scan entirely.
+ */
+struct SubmitTrace
+{
+    /** Pending tasks the submission depends on (deduplicated). */
+    std::vector<EventId> deps;
+    /** Dependence-edge counts by hazard kind (stats parity). */
+    std::uint32_t rawDeps = 0;
+    std::uint32_t warDeps = 0;
+    std::uint32_t wawDeps = 0;
+};
+
 /** Counters and clocks maintained by the stream. */
 struct StreamStats
 {
@@ -193,8 +208,23 @@ class TaskStream
      * Submit a task: record hazards against in-flight tasks, extend
      * the simulated schedule, and queue the task for deferred
      * execution. Returns the task's completion event.
+     *
+     * @param trace_out When non-null, receives the derived dependence
+     *        edges so a trace can replay them without re-analysis.
      */
-    EventId submit(LaunchedTask task, TaskTiming timing);
+    EventId submit(LaunchedTask task, TaskTiming timing,
+                   SubmitTrace *trace_out = nullptr);
+
+    /**
+     * Submit a task whose hazard edges were recorded by a previous,
+     * structurally identical submission (trace replay): the history
+     * scan is skipped and `trace.deps` (of which only still-pending
+     * events count) order the task instead. The schedule placement,
+     * history update and retirement behaviour are identical to
+     * `submit`, so simulated time matches the analyzed path exactly.
+     */
+    EventId submitPrelinked(LaunchedTask task, TaskTiming timing,
+                            const SubmitTrace &trace);
 
     /** Retire `id` and (transitively) everything it depends on. */
     void wait(EventId id);
@@ -260,6 +290,14 @@ class TaskStream
 
     /** Execute and retire exactly one pending task. */
     void retireOne(EventId id);
+
+    /**
+     * The shared submission tail: place the task on the simulated
+     * schedule (no earlier than `dep_finish`), append its accesses to
+     * the history, enqueue it pending, and retire overflow.
+     */
+    EventId finishSubmit(LaunchedTask task, TaskTiming timing,
+                         std::vector<EventId> deps, double dep_finish);
 
     MachineConfig machine_;
     std::size_t maxPending_;

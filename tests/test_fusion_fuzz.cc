@@ -47,13 +47,17 @@ struct Config
     bool scalarExec;
     int workers;
     int ranks;
+    /** Trace-memoized window replay (core/trace.h); the reference
+     * configuration keeps it off — DIFFUSE_TRACE=0 is the oracle. */
+    int trace = 0;
 
     std::string
     label() const
     {
         return std::string(fused ? "fused" : "unfused") +
                (scalarExec ? "/scalar" : "/vector") + "/w" +
-               std::to_string(workers) + "/r" + std::to_string(ranks);
+               std::to_string(workers) + "/r" + std::to_string(ranks) +
+               "/t" + std::to_string(trace);
     }
 };
 
@@ -98,6 +102,7 @@ runProgram(std::uint64_t seed, const Config &cfg)
     o.mode = rt::ExecutionMode::Real;
     o.workers = cfg.workers;
     o.ranks = cfg.ranks;
+    o.trace = cfg.trace;
     DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
     Context ctx(rt);
 
@@ -254,14 +259,15 @@ runProgram(std::uint64_t seed, const Config &cfg)
 TEST(FusionFuzz, AllConfigurationsBitwiseEqual)
 {
     const int seeds = envInt("DIFFUSE_FUZZ_SEEDS", 8, 1, 100000);
-    const Config reference{false, true, 1, 1};
+    const Config reference{false, true, 1, 1, 0};
     const Config variants[] = {
-        {true, false, 1, 1},  // the production configuration
-        {true, false, 8, 1},  // + sharded workers
-        {true, false, 1, 4},  // + distributed shards
-        {true, false, 8, 4},  // workers x ranks
-        {false, false, 1, 4}, // unfused over shards
-        {true, true, 8, 4},   // scalar oracle over shards
+        {true, false, 1, 1, 1},  // the production configuration
+        {true, false, 8, 1, 1},  // + sharded workers
+        {true, false, 1, 4, 1},  // + distributed shards
+        {true, false, 8, 4, 1},  // workers x ranks
+        {false, false, 1, 4, 1}, // unfused over shards
+        {true, true, 8, 4, 1},   // scalar oracle over shards
+        {true, false, 8, 4, 0},  // trace kill switch over the rest
     };
     for (int s = 0; s < seeds; s++) {
         std::uint64_t seed = 0xD1FFu + std::uint64_t(s) * 7919;
@@ -277,6 +283,99 @@ TEST(FusionFuzz, AllConfigurationsBitwiseEqual)
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Trace-replay fuzzing: a seeded loop body executed repeatedly in one
+// runtime must replay from the trace cache bitwise-identically to the
+// DIFFUSE_TRACE=0 oracle
+// ---------------------------------------------------------------------
+
+/**
+ * Run a seeded loop body `reps` times in one runtime and return the
+ * bits of the persistent arrays. The op list is drawn once per seed,
+ * so every repetition submits an isomorphic event stream (with
+ * loop-variant scalar coefficients) — the steady state the trace
+ * layer exists for. `replays_out` accumulates replayed epochs.
+ */
+std::vector<std::vector<std::uint64_t>>
+runLoopProgram(std::uint64_t seed, int trace,
+               std::uint64_t *replays_out)
+{
+    DiffuseOptions o;
+    o.mode = rt::ExecutionMode::Real;
+    o.trace = trace;
+    o.ranks = int(1 + seed % 3); // 1..3: exercise exchange replay too
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+    Context ctx(rt);
+
+    Rng rng(seed);
+    const coord_t n = 24 + coord_t(rng.below(17));
+    NDArray a = ctx.random(n, seed ^ 0x5eedULL, -1.0, 1.0);
+    NDArray b = ctx.random(n, seed ^ 0xfeedULL, -1.0, 1.0);
+
+    const int steps = 6 + int(rng.below(6));
+    std::vector<int> ops;
+    std::vector<double> coef;
+    for (int s = 0; s < steps; s++) {
+        ops.push_back(int(rng.below(6)));
+        coef.push_back(rng.uniform(-1.0, 1.0));
+    }
+
+    for (int rep = 0; rep < 3; rep++) {
+        for (int s = 0; s < steps; s++) {
+            switch (ops[std::size_t(s)]) {
+              case 0: {
+                NDArray t = ctx.add(a, b);
+                ctx.assign(a, t);
+                break;
+              }
+              case 1: {
+                NDArray t = ctx.mulScalar(coef[std::size_t(s)], b);
+                ctx.assign(b, t);
+                break;
+              }
+              case 2: {
+                // Loop-variant coefficient: replay must rebind it.
+                NDArray t = ctx.axpy(
+                    a, coef[std::size_t(s)] / double(rep + 1), b);
+                ctx.assign(a, t);
+                break;
+              }
+              case 3:
+                ctx.assign(a.slice(1, n), b.slice(0, n - 1));
+                break;
+              case 4: {
+                NDArray alpha = ctx.dot(a, b);
+                NDArray t = ctx.axpyS(a, alpha, b);
+                ctx.assign(b, t);
+                break;
+              }
+              default:
+                (void)ctx.value(ctx.sum(a)); // mid-body flush
+                break;
+            }
+        }
+        rt.flushWindow();
+    }
+    if (replays_out)
+        *replays_out += rt.fusionStats().traceEpochsReplayed;
+    return {bits(ctx.toHost(a)), bits(ctx.toHost(b))};
+}
+
+TEST(FusionFuzz, RepeatedBodiesReplayBitwise)
+{
+    const int seeds = envInt("DIFFUSE_FUZZ_SEEDS", 8, 1, 100000);
+    std::uint64_t replays = 0;
+    for (int s = 0; s < seeds; s++) {
+        std::uint64_t seed = 0x7ace + std::uint64_t(s) * 7919;
+        auto expect = runLoopProgram(seed, /*trace=*/0, nullptr);
+        auto got = runLoopProgram(seed, /*trace=*/1, &replays);
+        ASSERT_EQ(got, expect) << "seed " << seed;
+    }
+    // Repetition two and three of every seed hit the cache; across
+    // the whole run replays must have happened.
+    EXPECT_GT(replays, 0u);
 }
 
 // ---------------------------------------------------------------------

@@ -302,7 +302,12 @@ TEST(Pipeline, MemoizationHitsOnIsomorphicStreams)
 {
     // Paper Fig 7: iteration i+1's stream is isomorphic to iteration
     // i's (fresh stores each round) and must replay the cached plan.
-    DiffuseRuntime rt(machineWith(4), optionsFor(true));
+    // Trace replay (core/trace.h) would bypass the memoizer on the
+    // repeated windows; disable it — this test pins the memo layer
+    // itself (tests/test_trace.cc covers the trace layer).
+    DiffuseOptions opts = optionsFor(true);
+    opts.trace = 0;
+    DiffuseRuntime rt(machineWith(4), opts);
     Context ctx(rt);
     const coord_t n = 128;
     NDArray x = ctx.random(n, 5);

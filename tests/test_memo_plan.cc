@@ -71,6 +71,10 @@ TEST(MemoPlan, SteadyStateLowersNoFurtherPlans)
 {
     DiffuseOptions o;
     o.mode = rt::ExecutionMode::Real;
+    // Pin the memoizer path: with tracing on, steady-state windows
+    // replay above the memoizer and its hit counter stops moving
+    // (tests/test_trace.cc covers that layer's no-recompile claim).
+    o.trace = 0;
     DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
     num::Context ctx(rt);
     const coord_t n = 512;

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Trace-memoized window replay (core/trace.h): steady-state windows
+ * must replay without touching the planner, bit-identically to the
+ * analyzed path (`DiffuseOptions::trace = 0` is the differential
+ * oracle), with exact stats and simulated-time parity; shape changes,
+ * store destruction, liveness changes and host writes must invalidate
+ * rather than corrupt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "cunumeric/ndarray.h"
+#include "solvers/solvers.h"
+#include "sparse/csr.h"
+
+namespace diffuse {
+namespace {
+
+using num::Context;
+using num::NDArray;
+
+DiffuseOptions
+realOpts(int trace, int ranks = 1)
+{
+    DiffuseOptions o;
+    o.mode = rt::ExecutionMode::Real;
+    o.trace = trace;
+    o.ranks = ranks;
+    return o;
+}
+
+std::vector<std::uint64_t>
+bits(const std::vector<double> &v)
+{
+    std::vector<std::uint64_t> out(v.size());
+    std::memcpy(out.data(), v.data(), v.size() * sizeof(double));
+    return out;
+}
+
+/** An iterative body with fused chains, a reduction read back as a
+ * scalar (mid-iteration flush), per-iteration temporaries and an
+ * aliasing slice write — several epochs per iteration. */
+std::vector<double>
+solverishIteration(DiffuseRuntime &rt, Context &ctx, NDArray &x,
+                   NDArray &y)
+{
+    NDArray t = ctx.mulScalar(2.0, x);
+    NDArray w = ctx.add(y, t);
+    NDArray v = ctx.mul(w, w);
+    double nrm = ctx.value(ctx.sum(v)); // flush: epoch boundary
+    const coord_t n = x.shape()[0];
+    NDArray scaled = ctx.mulScalar(1.0 / (1.0 + nrm), v);
+    ctx.assign(x.slice(1, n), scaled.slice(0, n - 1));
+    rt.flushWindow();
+    return ctx.toHost(x);
+}
+
+TEST(TraceReplay, SteadyStateReplaysBitwiseWithStatsParity)
+{
+    const coord_t n = 96;
+    const int iters = 8;
+    std::vector<std::vector<std::uint64_t>> perIter[2];
+    FusionStats fstats[2];
+    rt::RuntimeStats rstats[2];
+    int kernels[2] = {0, 0};
+    std::uint64_t replayed = 0, captured = 0;
+
+    for (int trace : {0, 1}) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4),
+                          realOpts(trace));
+        Context ctx(rt);
+        NDArray x = ctx.random(n, 11);
+        NDArray y = ctx.random(n, 12);
+        for (int i = 0; i < iters; i++) {
+            perIter[trace].push_back(
+                bits(solverishIteration(rt, ctx, x, y)));
+        }
+        fstats[trace] = rt.fusionStats();
+        rstats[trace] = rt.runtimeStats();
+        kernels[trace] = rt.compilerStats().kernelsCompiled;
+        if (trace == 1) {
+            replayed = rt.fusionStats().traceEpochsReplayed;
+            captured = rt.fusionStats().traceEpochsCaptured;
+        }
+    }
+
+    // Bitwise identity, every iteration.
+    ASSERT_EQ(perIter[0].size(), perIter[1].size());
+    for (std::size_t i = 0; i < perIter[0].size(); i++)
+        EXPECT_EQ(perIter[0][i], perIter[1][i]) << "iteration " << i;
+
+    // Steady state replays: each iteration contributes two epochs,
+    // and iterations 2+ repeat iteration 1's shapes.
+    EXPECT_GT(replayed, std::uint64_t(iters));
+    EXPECT_GT(captured, 0u);
+
+    // Replay compiles nothing new.
+    EXPECT_EQ(kernels[0], kernels[1]);
+
+    // The fusion decisions — and the runtime accounting, including
+    // the simulated schedule — are exactly those of the analyzed
+    // path.
+    EXPECT_EQ(fstats[0].tasksSubmitted, fstats[1].tasksSubmitted);
+    EXPECT_EQ(fstats[0].groupsLaunched, fstats[1].groupsLaunched);
+    EXPECT_EQ(fstats[0].fusedGroups, fstats[1].fusedGroups);
+    EXPECT_EQ(fstats[0].singleTasks, fstats[1].singleTasks);
+    EXPECT_EQ(fstats[0].tempsEliminated, fstats[1].tempsEliminated);
+    EXPECT_EQ(fstats[0].flushes, fstats[1].flushes);
+    EXPECT_EQ(fstats[0].windowSize, fstats[1].windowSize);
+    EXPECT_EQ(fstats[0].windowGrowths, fstats[1].windowGrowths);
+    EXPECT_EQ(fstats[0].blocks, fstats[1].blocks);
+    EXPECT_EQ(rstats[0].indexTasks, rstats[1].indexTasks);
+    EXPECT_EQ(rstats[0].pointTasks, rstats[1].pointTasks);
+    EXPECT_EQ(rstats[0].simTime, rstats[1].simTime);
+    EXPECT_EQ(rstats[0].busyTime, rstats[1].busyTime);
+    // Accumulated through recorded per-submission deltas: equal to
+    // rounding (FP addition is not associative), unlike the schedule
+    // clocks above, which replay recomputes exactly.
+    EXPECT_DOUBLE_EQ(rstats[0].computeTime, rstats[1].computeTime);
+    EXPECT_DOUBLE_EQ(rstats[0].bytesHbm, rstats[1].bytesHbm);
+}
+
+TEST(TraceReplay, KillSwitchDisablesTheLayer)
+{
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), realOpts(0));
+    Context ctx(rt);
+    NDArray x = ctx.random(48, 3);
+    NDArray y = ctx.random(48, 4);
+    for (int i = 0; i < 5; i++)
+        solverishIteration(rt, ctx, x, y);
+    EXPECT_EQ(rt.fusionStats().traceEpochsReplayed, 0u);
+    EXPECT_EQ(rt.fusionStats().traceEpochsCaptured, 0u);
+    EXPECT_EQ(rt.fusionStats().traceEntries, 0u);
+}
+
+TEST(TraceReplay, LoopVariantScalarsRebind)
+{
+    // The trace key ignores scalar *values*; replay must rebind them
+    // from the replay window, iteration by iteration.
+    const coord_t n = 64;
+    std::vector<std::uint64_t> expect, got;
+    for (int trace : {0, 1}) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4),
+                          realOpts(trace));
+        Context ctx(rt);
+        NDArray x = ctx.random(n, 21);
+        NDArray y = ctx.random(n, 22);
+        for (int i = 0; i < 6; i++) {
+            double alpha = 0.25 + 0.125 * i; // loop-variant
+            NDArray t = ctx.axpy(x, alpha, y);
+            NDArray u = ctx.mulScalar(alpha * 0.5, t);
+            ctx.assign(x, u);
+            rt.flushWindow();
+        }
+        (trace ? got : expect) = bits(ctx.toHost(x));
+        if (trace)
+            EXPECT_GT(rt.fusionStats().traceEpochsReplayed, 2u);
+    }
+    EXPECT_EQ(got, expect);
+}
+
+TEST(TraceReplay, ShapeChangeMissesThenRecaptures)
+{
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), realOpts(1));
+    Context ctx(rt);
+
+    auto run = [&](coord_t n, int iters) {
+        NDArray x = ctx.random(n, 31);
+        NDArray y = ctx.random(n, 32);
+        for (int i = 0; i < iters; i++)
+            solverishIteration(rt, ctx, x, y);
+        return ctx.toHost(x);
+    };
+
+    run(64, 4);
+    std::uint64_t replays_a = rt.fusionStats().traceEpochsReplayed;
+    EXPECT_GT(replays_a, 0u);
+
+    // Same program over a different shape: every epoch code changes,
+    // so the first pass must miss (capture), later ones replay again.
+    std::uint64_t captured_a = rt.fusionStats().traceEpochsCaptured;
+    auto host_b = run(80, 4);
+    EXPECT_GT(rt.fusionStats().traceEpochsCaptured, captured_a);
+    EXPECT_GT(rt.fusionStats().traceEpochsReplayed, replays_a);
+
+    // Oracle: identical run, tracing off.
+    DiffuseRuntime oracle(rt::MachineConfig::withGpus(4), realOpts(0));
+    Context octx(oracle);
+    NDArray x = octx.random(64, 31);
+    NDArray y = octx.random(64, 32);
+    for (int i = 0; i < 4; i++)
+        solverishIteration(oracle, octx, x, y);
+    NDArray x2 = octx.random(80, 31);
+    NDArray y2 = octx.random(80, 32);
+    std::vector<double> oracle_b;
+    for (int i = 0; i < 4; i++)
+        oracle_b = solverishIteration(oracle, octx, x2, y2);
+    EXPECT_EQ(bits(host_b), bits(oracle_b));
+}
+
+TEST(TraceReplay, StoreDestructionMidRunStaysCorrect)
+{
+    // A persistent operand destroyed and replaced mid-run: the traced
+    // epochs that referenced it can no longer match blindly — results
+    // must stay bit-identical to the analyzed path.
+    std::vector<std::uint64_t> expect, got;
+    for (int trace : {0, 1}) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4),
+                          realOpts(trace));
+        Context ctx(rt);
+        NDArray x = ctx.random(64, 41);
+        NDArray y = ctx.random(64, 42);
+        for (int i = 0; i < 3; i++)
+            solverishIteration(rt, ctx, x, y);
+        y = ctx.random(64, 43); // old y released, fresh store
+        for (int i = 0; i < 3; i++)
+            solverishIteration(rt, ctx, x, y);
+        (trace ? got : expect) = bits(ctx.toHost(x));
+    }
+    EXPECT_EQ(got, expect);
+}
+
+TEST(TraceReplay, LivenessChangeFailsValidationNotCorrectness)
+{
+    // Two epochs with *identical* event streams whose temporary-store
+    // decision differs: round one's intermediate dies inside the
+    // epoch (eliminated); round two holds an extra low-level app
+    // reference taken in a previous epoch, so the same stream must
+    // NOT replay the cached plan — the intermediate's contents are
+    // observable afterwards.
+    const coord_t n = 32;
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), realOpts(1));
+    Context ctx(rt);
+
+    auto round = [&](bool extra_ref) {
+        NDArray t = ctx.zeros(n);
+        StoreId sid = t.store();
+        if (extra_ref)
+            rt.retainApp(sid);
+        rt.flushWindow(); // epoch boundary: refcounts differ, events
+                          // of the measured epoch do not
+        ctx.fill(t, 2.0);
+        NDArray out = ctx.mul(t, t);
+        t = NDArray(); // Release event inside the epoch
+        rt.flushWindow();
+        return std::make_pair(sid, ctx.toHost(out));
+    };
+
+    std::uint64_t temps0 = rt.fusionStats().tempsEliminated;
+    auto [sid1, out1] = round(false);
+    EXPECT_EQ(rt.fusionStats().tempsEliminated, temps0 + 1);
+    for (double v : out1)
+        EXPECT_EQ(v, 4.0);
+
+    auto [sid2, out2] = round(true);
+    for (double v : out2)
+        EXPECT_EQ(v, 4.0);
+    // The extra reference kept the intermediate alive: it must not
+    // have been demoted to a task-local buffer.
+    EXPECT_GE(rt.fusionStats().traceValidationFailures, 1u);
+    std::vector<double> kept = rt.readStoreF64(sid2);
+    for (double v : kept)
+        EXPECT_EQ(v, 2.0);
+    rt.releaseApp(sid2);
+
+    // The failed validation recaptured the epoch with the new
+    // liveness, so a third identical round replays it — and the
+    // replayed plan keeps the intermediate observable.
+    std::uint64_t replays = rt.fusionStats().traceEpochsReplayed;
+    auto [sid3, out3] = round(true);
+    for (double v : out3)
+        EXPECT_EQ(v, 4.0);
+    EXPECT_GT(rt.fusionStats().traceEpochsReplayed, replays);
+    std::vector<double> kept3 = rt.readStoreF64(sid3);
+    for (double v : kept3)
+        EXPECT_EQ(v, 2.0);
+    rt.releaseApp(sid3);
+}
+
+TEST(TraceReplay, HostWritePoisonsSpeculationNotResults)
+{
+    // A host write through the low-level runtime to a store with
+    // buffered tasks makes the epoch untraceable; it must fall back,
+    // not replay stale plans.
+    std::vector<std::uint64_t> expect, got;
+    for (int trace : {0, 1}) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4),
+                          realOpts(trace));
+        Context ctx(rt);
+        NDArray x = ctx.random(48, 51);
+        NDArray y = ctx.random(48, 52);
+        for (int i = 0; i < 4; i++) {
+            NDArray t = ctx.add(x, y);
+            ctx.assign(x, t);
+            rt.flushWindow();
+        }
+        // Now an epoch whose stream matches the loop's, with a host
+        // write to y landing mid-window.
+        NDArray t = ctx.add(x, y);
+        double *p = rt.low().dataF64(y.store());
+        p[0] = 123.0;
+        rt.low().markInitialized(y.store());
+        ctx.assign(x, t);
+        rt.flushWindow();
+        NDArray u = ctx.add(x, y); // reads the poked value
+        (trace ? got : expect) = bits(ctx.toHost(u));
+    }
+    EXPECT_EQ(got, expect);
+}
+
+TEST(TraceReplay, HostWriteMidSpeculationDrainsEagerly)
+{
+    // Window small enough that the analyzed path submits the prefix
+    // at window-fill, BEFORE the host access: a speculating repeat
+    // must drain its deferred events before dataF64 returns, or the
+    // host read-modify-write observes pre-epoch bytes.
+    std::vector<std::uint64_t> expect, got;
+    for (int trace : {0, 1}) {
+        DiffuseOptions o = realOpts(trace);
+        o.initialWindow = 2;
+        o.maxWindow = 2;
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+        Context ctx(rt);
+        NDArray x = ctx.random(48, 71);
+        NDArray y = ctx.random(48, 72);
+        for (int i = 0; i < 4; i++) {
+            NDArray t = ctx.add(x, y);
+            ctx.assign(y, t); // second submit: window fills, drains
+            rt.flushWindow();
+        }
+        // Repeat epoch: both submits defer under speculation. The
+        // host access must still see the assign applied.
+        NDArray t = ctx.add(x, y);
+        ctx.assign(y, t);
+        double *p = rt.low().dataF64(y.store());
+        p[0] += 1.0;
+        rt.low().markInitialized(y.store());
+        rt.flushWindow();
+        (trace ? got : expect) = bits(ctx.toHost(y));
+    }
+    EXPECT_EQ(got, expect);
+}
+
+TEST(TraceReplay, WindowGrowthCountSurvivesStatsReset)
+{
+    // Epoch growth counts are recorded per-epoch, not as FusionStats
+    // deltas: resetting the stats between flushes (the benches'
+    // post-warmup pattern) zeroes windowGrowths while an epoch whose
+    // begin-latch predates the reset is still open — a delta would
+    // wrap and every later replay of that epoch would re-add it.
+    DiffuseOptions o = realOpts(1);
+    o.initialWindow = 2;
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+    Context ctx(rt);
+    NDArray x = ctx.random(64, 81);
+    {
+        // An epoch that grows the window (full window fully fused).
+        NDArray a = ctx.mulScalar(2.0, x);
+        NDArray b = ctx.mulScalar(3.0, a);
+        NDArray c = ctx.mulScalar(4.0, b);
+        NDArray d = ctx.mulScalar(5.0, c);
+        ctx.assign(x, d);
+        rt.flushWindow();
+    }
+    ASSERT_GT(rt.fusionStats().windowGrowths, 0u);
+    rt.fusionStats().reset();
+    // Growth-free epochs with identical, x-preserving streams: the
+    // first is captured inside the straddled epoch, the rest replay.
+    std::vector<NDArray> keep;
+    for (int i = 0; i < 3; i++) {
+        keep.push_back(ctx.add(x, x));
+        rt.flushWindow();
+    }
+    EXPECT_GT(rt.fusionStats().traceEpochsReplayed, 0u);
+    EXPECT_EQ(rt.fusionStats().windowGrowths, 0u);
+}
+
+TEST(TraceReplay, ShardedRanksReplayBitwise)
+{
+    // Replay resubmits recorded exchange Copy tasks; at ranks > 1
+    // results and measured exchange volume must match the analyzed
+    // path exactly.
+    std::vector<std::uint64_t> expect, got;
+    double exchange[2] = {0.0, 0.0};
+    std::uint64_t replays = 0;
+    for (int trace : {0, 1}) {
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4),
+                          realOpts(trace, /*ranks=*/3));
+        Context ctx(rt);
+        NDArray x = ctx.random(96, 61);
+        NDArray y = ctx.random(96, 62);
+        for (int i = 0; i < 6; i++)
+            solverishIteration(rt, ctx, x, y);
+        (trace ? got : expect) = bits(ctx.toHost(x));
+        exchange[trace] = rt.runtimeStats().exchangeBytes;
+        if (trace)
+            replays = rt.fusionStats().traceEpochsReplayed;
+    }
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ(exchange[0], exchange[1]);
+    EXPECT_GT(replays, 0u);
+
+    // And ranks=3 with tracing matches ranks=1 with tracing.
+    DiffuseRuntime rt1(rt::MachineConfig::withGpus(4), realOpts(1, 1));
+    Context ctx1(rt1);
+    NDArray x = ctx1.random(96, 61);
+    NDArray y = ctx1.random(96, 62);
+    std::vector<double> r1;
+    for (int i = 0; i < 6; i++)
+        r1 = solverishIteration(rt1, ctx1, x, y);
+    EXPECT_EQ(bits(r1), got);
+}
+
+TEST(TraceReplay, SimulatedModeTimingParity)
+{
+    // The whole point of recording TaskTiming + hazard edges: the
+    // simulated critical path is identical with tracing on and off,
+    // fused across a real solver (CG chains epochs via scalar reads).
+    double sim[2] = {0.0, 0.0}, busy[2] = {0.0, 0.0};
+    std::uint64_t replays = 0;
+    for (int trace : {0, 1}) {
+        DiffuseOptions o;
+        o.mode = rt::ExecutionMode::Simulated;
+        o.trace = trace;
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(8), o);
+        Context ctx(rt);
+        sp::SparseContext sctx(ctx);
+        solvers::SolverContext sol(ctx, sctx);
+        sp::CsrMatrix a = sctx.poisson2d(8, 8);
+        NDArray b = ctx.zeros(64, 1.0);
+        for (int i = 0; i < 6; i++) {
+            sol.cg(a, b, 2);
+            rt.flushWindow();
+        }
+        sim[trace] = rt.runtimeStats().simTime;
+        busy[trace] = rt.runtimeStats().busyTime;
+        if (trace)
+            replays = rt.fusionStats().traceEpochsReplayed;
+    }
+    EXPECT_EQ(sim[0], sim[1]);
+    EXPECT_EQ(busy[0], busy[1]);
+    EXPECT_GT(replays, 0u);
+}
+
+TEST(TraceReplay, ReplayIsFasterToSubmitInSteadyState)
+{
+    // The acceptance claim: per-window submission time drops on trace
+    // hits. Wall-clock on a shared CI box is noisy, so assert the
+    // lenient direction only: the average replayed window submits in
+    // no more than the average analyzed window's time.
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), realOpts(1));
+    Context ctx(rt);
+    NDArray x = ctx.random(256, 71);
+    NDArray y = ctx.random(256, 72);
+    for (int i = 0; i < 50; i++)
+        solverishIteration(rt, ctx, x, y);
+    const FusionStats &fs = rt.fusionStats();
+    ASSERT_GT(fs.traceEpochsReplayed, 20u);
+    ASSERT_GT(fs.traceEpochsCaptured, 0u);
+    double planned = fs.plannedSubmitSeconds /
+                     double(fs.traceEpochsCaptured);
+    double replayed = fs.replaySubmitSeconds /
+                      double(fs.traceEpochsReplayed);
+    EXPECT_GT(planned, 0.0);
+    EXPECT_GT(replayed, 0.0);
+    EXPECT_LE(replayed, planned * 1.5);
+}
+
+} // namespace
+} // namespace diffuse
