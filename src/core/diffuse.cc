@@ -22,15 +22,37 @@ secondsSince(Clock::time_point t0)
 
 DiffuseRuntime::DiffuseRuntime(const rt::MachineConfig &machine,
                                DiffuseOptions options)
-    : options_(options),
-      low_(machine, options.mode, options.workers, options.ranks),
-      planner_(registry_, compiler_, stores_,
+    : DiffuseRuntime(SharedContext::create(machine), options)
+{
+}
+
+DiffuseRuntime::DiffuseRuntime(std::shared_ptr<SharedContext> shared,
+                               DiffuseOptions options)
+    : ctx_(std::move(shared)),
+      options_(options),
+      low_(ctx_->machine(), options.mode, options.workers,
+           options.ranks, ctx_->pool()),
+      planner_(registry_, ctx_->compiler(), stores_,
                PlannerOptions{options.tempElimination,
                               options.kernelOptimization}),
       windowSize_(options.fusionEnabled ? options.initialWindow : 1)
 {
     diffuse_assert(windowSize_ >= 1, "window must hold a task");
     fusionStats_.windowSize = windowSize_;
+    // The planning fingerprint scopes every shared-cache key to this
+    // session's configuration: any knob (beyond the event stream
+    // itself) that changes what the planner emits, what the runtime
+    // records, or how the window evolves must be mixed in here.
+    planSalt_ = 0x53455353u; // "SESS"
+    hashCombine64(planSalt_, options_.fusionEnabled ? 1 : 0);
+    hashCombine64(planSalt_, options_.kernelOptimization ? 1 : 0);
+    hashCombine64(planSalt_, options_.tempElimination ? 1 : 0);
+    hashCombine64(planSalt_, options_.memoization ? 1 : 0);
+    hashCombine64(planSalt_, std::uint64_t(options_.mode));
+    hashCombine64(planSalt_, std::uint64_t(low_.workers()));
+    hashCombine64(planSalt_, std::uint64_t(low_.ranks()));
+    hashCombine64(planSalt_, std::uint64_t(options_.initialWindow));
+    hashCombine64(planSalt_, std::uint64_t(options_.maxWindow));
     traceEnabled_ = options.trace >= 0
                         ? options.trace != 0
                         : envInt("DIFFUSE_TRACE", 1, 0, 1) != 0;
@@ -39,6 +61,23 @@ DiffuseRuntime::DiffuseRuntime(const rt::MachineConfig &machine,
             [this](StoreId id) { traceOnHostWrite(id); });
     }
     traceBeginEpoch();
+}
+
+std::uint64_t
+DiffuseRuntime::cacheSalt() const
+{
+    std::uint64_t salt = planSalt_;
+    hashCombine64(salt, registry_.fingerprint());
+    return salt;
+}
+
+DiffuseRuntime::~DiffuseRuntime()
+{
+    // Sessions may be torn down mid-flight (a serving client hangs
+    // up): retire everything already submitted to the stream; tasks
+    // still buffered in the window are abandoned. Shared caches hold
+    // only canonical, session-independent state and stay usable.
+    low_.fence();
 }
 
 StoreId
@@ -227,19 +266,15 @@ DiffuseRuntime::buildSingleCached(const IndexTask &task)
         append(std::uint64_t(a.shapeClass + 1));
     }
 
+    append(cacheSalt());
+
     ExecutionGroup group;
     group.task = task;
     group.sourceTasks = 1;
     group.fused = false;
-    auto it = singleCache_.find(key);
-    if (it != singleCache_.end()) {
-        group.kernel = it->second;
-        return group;
-    }
-    ExecutionGroup built = planner_.buildSingle(task);
-    singleCache_.emplace(std::move(key), built.kernel);
-    built.task = task;
-    return built;
+    group.kernel = ctx_->singleKernel(
+        key, [&] { return planner_.buildSingle(task).kernel; });
+    return group;
 }
 
 void
@@ -282,16 +317,21 @@ DiffuseRuntime::processOne()
             return app || win;
         };
         if (options_.memoization) {
+            Memoizer &memo = ctx_->memo();
             std::vector<StoreId> slots;
-            std::string key =
-                memo_.encode(prefix, stores_, live, &slots);
-            if (const CachedGroup *plan = memo_.lookup(key)) {
-                group = Memoizer::instantiate(*plan, prefix, slots);
-            } else {
-                group = planner_.buildFused(prefix, live);
-                memo_.insert(key,
-                             Memoizer::canonicalize(group, slots));
-            }
+            std::string key = memo.encode(prefix, stores_, live, &slots);
+            std::uint64_t salt = cacheSalt();
+            key.append(reinterpret_cast<const char *>(&salt),
+                       sizeof(salt));
+            // Atomic lookup-or-build: with a shared context, sessions
+            // racing on the same cold group serialize on its shard
+            // and the group is planned and compiled exactly once
+            // process-wide.
+            const CachedGroup *plan = memo.getOrBuild(key, [&] {
+                return Memoizer::canonicalize(
+                    planner_.buildFused(prefix, live), slots);
+            });
+            group = Memoizer::instantiate(*plan, prefix, slots);
         } else {
             group = planner_.buildFused(prefix, live);
         }
@@ -388,6 +428,11 @@ DiffuseRuntime::traceBeginEpoch()
 void
 DiffuseRuntime::traceOnEvent(TraceEvent ev)
 {
+    // The registry half of the salt settles only once libraries have
+    // registered their task types — refresh it as the epoch's first
+    // code is built (events always carry registered types).
+    if (traceEvent_ == 0)
+        traceEnc_.setSalt(cacheSalt());
     std::vector<StoreId> fresh;
     std::string code = traceEnc_.encode(ev, stores_, &fresh);
     int idx = traceEvent_++;
@@ -409,14 +454,20 @@ DiffuseRuntime::traceOnEvent(TraceEvent ev)
 
     switch (traceMode_) {
       case TraceMode::Idle: {
-        const auto *list = traceCache_.candidates(code);
-        traceCands_.clear();
-        if (list) {
-            for (const std::unique_ptr<TraceEpoch> &c : *list) {
-                if (sigs_match(c.get()))
-                    traceCands_.push_back(c.get());
-            }
+        // Snapshot the bucket (shared caches: candidates are held by
+        // shared_ptr, so a concurrent replacement cannot invalidate
+        // this session's speculation), then narrow by signature.
+        bool has_bucket =
+            ctx_->traceCache().candidates(code, &traceCands_);
+        std::size_t live = 0;
+        for (std::size_t i = 0; i < traceCands_.size(); i++) {
+            if (!sigs_match(traceCands_[i].get()))
+                continue;
+            if (live != i)
+                traceCands_[live] = std::move(traceCands_[i]);
+            live++;
         }
+        traceCands_.resize(live);
         if (!traceCands_.empty()) {
             traceMode_ = TraceMode::Speculating;
             tracePending_.push_back(std::move(ev));
@@ -425,8 +476,8 @@ DiffuseRuntime::traceOnEvent(TraceEvent ev)
         // A full cache can still *replace* an epoch sharing this
         // first code (stale signatures); but when none does, capture
         // could never be stored — skip its overhead outright.
-        if (list == nullptr &&
-            traceCache_.entries() >= kTraceMaxEntries) {
+        if (!has_bucket &&
+            ctx_->traceCache().entries() >= kTraceMaxEntries) {
             traceMode_ = TraceMode::Bypassed;
             traceCurEvent_ = idx;
             traceApplyEvent(ev);
@@ -440,10 +491,13 @@ DiffuseRuntime::traceOnEvent(TraceEvent ev)
       }
       case TraceMode::Speculating: {
         std::size_t kept = 0;
-        for (TraceEpoch *c : traceCands_) {
+        for (std::size_t i = 0; i < traceCands_.size(); i++) {
+            const TraceEpoch *c = traceCands_[i].get();
             if (std::size_t(idx) < c->codes.size() &&
                 c->codes[std::size_t(idx)] == code && sigs_match(c)) {
-                traceCands_[kept++] = c;
+                if (kept != i)
+                    traceCands_[kept] = std::move(traceCands_[i]);
+                kept++;
             }
         }
         traceCands_.resize(kept);
@@ -599,9 +653,9 @@ DiffuseRuntime::traceFinalizeCapture()
         // Counted per-epoch, not by FusionStats delta: the app may
         // reset the stats mid-epoch (benches do, after warmup).
         traceRec_->growths = traceEpochGrowths_;
-        if (traceCache_.store(std::move(traceRec_)))
+        if (ctx_->traceCache().store(std::move(traceRec_)))
             fusionStats_.traceEpochsCaptured++;
-        fusionStats_.traceEntries = traceCache_.entries();
+        fusionStats_.traceEntries = ctx_->traceCache().entries();
     }
     traceRec_.reset();
 }
@@ -610,9 +664,9 @@ bool
 DiffuseRuntime::traceTryReplay()
 {
     TraceEpoch *match = nullptr;
-    for (TraceEpoch *c : traceCands_) {
+    for (const std::shared_ptr<TraceEpoch> &c : traceCands_) {
         if (int(c->codes.size()) == traceEvent_) {
-            match = c;
+            match = c.get();
             break;
         }
     }
@@ -690,7 +744,7 @@ DiffuseRuntime::traceReplay(TraceEpoch &epoch)
     }
     fusionStats_.windowGrowths += epoch.growths;
     fusionStats_.traceGroupsReplayed += epoch.units.size();
-    epoch.replays++;
+    epoch.replays.fetch_add(1, std::memory_order_relaxed);
 }
 
 void

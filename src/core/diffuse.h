@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/context.h"
 #include "core/fusion.h"
 #include "core/index_task.h"
 #include "core/memo.h"
@@ -83,6 +84,16 @@ struct DiffuseOptions
      * DIFFUSE_TRACE=0 is the differential oracle.
      */
     int trace = -1;
+    /**
+     * Share the process-wide caches (compiled kernels, memoized
+     * plans, trace epochs) and worker pool when this session is
+     * created via SharedContext::createSession (core/context.h). 1
+     * on, 0 off (a fully isolated session — today's single-client
+     * behavior bit-for-bit); < 0 reads DIFFUSE_SHARED_CACHE (default
+     * on). Ignored by direct DiffuseRuntime construction, which is
+     * always isolated.
+     */
+    int sharedCache = -1;
 };
 
 /** Counters describing fusion behaviour. */
@@ -131,13 +142,31 @@ struct FusionStats
 };
 
 /**
- * The Diffuse middle layer. One instance per application run.
+ * The Diffuse middle layer. One instance per client session; the
+ * process-shareable half (compiled kernels, memoized plans, trace
+ * epochs, worker pool) lives in a SharedContext (core/context.h) —
+ * private to this instance when constructed directly, shared across
+ * sessions when created via SharedContext::createSession.
  */
 class DiffuseRuntime
 {
   public:
+    /** Stand-alone runtime with a private context of its own (the
+     * historical single-client behavior). */
     explicit DiffuseRuntime(const rt::MachineConfig &machine,
                             DiffuseOptions options = DiffuseOptions());
+
+    /** Session over a shared context (SharedContext::createSession).
+     * The context's machine model applies. */
+    DiffuseRuntime(std::shared_ptr<SharedContext> shared,
+                   DiffuseOptions options);
+
+    /** Drains in-flight work (sessions may be torn down mid-stream);
+     * unflushed window tasks are abandoned, shared caches unharmed. */
+    ~DiffuseRuntime();
+
+    DiffuseRuntime(const DiffuseRuntime &) = delete;
+    DiffuseRuntime &operator=(const DiffuseRuntime &) = delete;
 
     // ---- Store management -------------------------------------------
 
@@ -176,6 +205,12 @@ class DiffuseRuntime
     rt::LowRuntime &low() { return low_; }
     const rt::MachineConfig &machine() const { return low_.machine(); }
     const DiffuseOptions &options() const { return options_; }
+    /** The context backing this session — private unless created via
+     * SharedContext::createSession. */
+    const std::shared_ptr<SharedContext> &context() const
+    {
+        return ctx_;
+    }
 
     ImageId
     registerImage(rt::ImageData data)
@@ -186,10 +221,15 @@ class DiffuseRuntime
     // ---- Statistics ---------------------------------------------------
 
     FusionStats &fusionStats() { return fusionStats_; }
-    const Memoizer::Stats &memoStats() const { return memo_.stats(); }
-    const kir::CompilerStats &compilerStats() const
+    /** Process-wide when the context is shared: cache-population
+     * counters cover every session of the context. */
+    const Memoizer::Stats &memoStats() const
     {
-        return compiler_.stats();
+        return ctx_->memo().stats();
+    }
+    kir::CompilerStats compilerStats() const
+    {
+        return ctx_->compiler().stats();
     }
     rt::RuntimeStats &runtimeStats() { return low_.stats(); }
     const StoreTable &stores() const { return stores_; }
@@ -273,29 +313,39 @@ class DiffuseRuntime
      * the accessor reads store state. */
     void traceOnHostWrite(StoreId id);
 
+    /** Shared (or private) caches + pool. Declared first: low_ and
+     * planner_ borrow from it during construction. */
+    std::shared_ptr<SharedContext> ctx_;
     DiffuseOptions options_;
     rt::LowRuntime low_;
     kir::Registry registry_;
-    kir::JitCompiler compiler_;
     StoreTable stores_;
     FusionPlanner planner_;
-    Memoizer memo_;
     FusionStats fusionStats_;
+    /**
+     * Planning fingerprint appended (via cacheSalt()) to every cache
+     * key and trace code: the per-session configuration outside the
+     * event stream that shapes planner/runtime output (planner
+     * options, execution mode, worker and rank counts, window
+     * bounds). Sessions sharing a context only reuse artifacts
+     * produced under an identical fingerprint.
+     */
+    std::uint64_t planSalt_ = 0;
+
+    /** planSalt_ plus the registry's registration-history
+     * fingerprint (lazily populated by libraries, so mixed at key
+     * construction time, not at session construction): sessions
+     * whose task libraries diverge never share cache entries even
+     * when their numeric task-type ids coincide. */
+    std::uint64_t cacheSalt() const;
 
     std::vector<IndexTask> window_;
     int windowSize_;
-
-    /** Pre-compiled kernels for stand-alone tasks, keyed on type and
-     * signature (library task variants exist ahead of time). */
-    std::unordered_map<std::string,
-                       std::shared_ptr<kir::CompiledKernel>>
-        singleCache_;
 
     // ---- Trace state (see the private trace* methods) ----------------
 
     bool traceEnabled_ = false;
     TraceMode traceMode_ = TraceMode::Idle;
-    TraceCache traceCache_;
     EpochEncoder traceEnc_;
     /** Canonical codes of every event this epoch. */
     std::vector<std::string> epochCodes_;
@@ -303,8 +353,10 @@ class DiffuseRuntime
     std::vector<std::uint64_t> traceSigs_;
     /** Deferred events while speculating. */
     std::vector<TraceEvent> tracePending_;
-    /** Surviving candidate epochs while speculating. */
-    std::vector<TraceEpoch *> traceCands_;
+    /** Surviving candidate epochs while speculating (shared_ptr: a
+     * concurrent session replacing a cache entry cannot pull a
+     * candidate out from under this session's speculation). */
+    std::vector<std::shared_ptr<TraceEpoch>> traceCands_;
     /** Epoch under capture. */
     std::unique_ptr<TraceEpoch> traceRec_;
     /** Runtime submission log (LowRuntime capture target). */

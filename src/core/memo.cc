@@ -66,25 +66,65 @@ Memoizer::encode(std::span<const IndexTask> prefix,
     return key;
 }
 
+Memoizer::Shard &
+Memoizer::shardFor(const std::string &key)
+{
+    return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+void
+Memoizer::countInsert(const CachedGroup &group)
+{
+    if (group.kernel != nullptr && group.kernel->plan != nullptr)
+        stats_.plansLowered.fetch_add(1, std::memory_order_relaxed);
+    stats_.entries.fetch_add(1, std::memory_order_relaxed);
+}
+
 const CachedGroup *
 Memoizer::lookup(const std::string &key)
 {
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-        stats_.misses++;
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        stats_.misses.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
     }
-    stats_.hits++;
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
     return &it->second;
 }
 
 void
 Memoizer::insert(const std::string &key, CachedGroup group)
 {
-    if (group.kernel != nullptr && group.kernel->plan != nullptr)
-        stats_.plansLowered++;
-    cache_.emplace(key, std::move(group));
-    stats_.entries = cache_.size();
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, fresh] = shard.map.emplace(key, std::move(group));
+    if (fresh)
+        countInsert(it->second);
+}
+
+const CachedGroup *
+Memoizer::getOrBuild(const std::string &key,
+                     const std::function<CachedGroup()> &build)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        stats_.hits.fetch_add(1, std::memory_order_relaxed);
+        return &it->second;
+    }
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    // Build under the shard lock: a concurrent session racing on the
+    // same cold key blocks here and then hits, so each unique group
+    // compiles exactly once process-wide. (Distinct keys in other
+    // shards keep compiling concurrently.)
+    CachedGroup group = build();
+    auto [ins, fresh] = shard.map.emplace(key, std::move(group));
+    if (fresh)
+        countInsert(ins->second);
+    return &ins->second;
 }
 
 CachedGroup

@@ -28,8 +28,11 @@
 #ifndef DIFFUSE_CORE_MEMO_H
 #define DIFFUSE_CORE_MEMO_H
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -62,22 +65,34 @@ struct CachedGroup
     std::shared_ptr<kir::CompiledKernel> kernel;
 };
 
-/** Group-level memoization cache. */
+/**
+ * Group-level memoization cache.
+ *
+ * Thread-safe under sharded locks, so one memoizer may be shared by
+ * every session of a process (core/context.h): entries hash to one of
+ * `kShards` independently locked maps, lookups and inserts touch only
+ * their shard, and entries are never erased — a returned plan pointer
+ * stays valid for the cache's lifetime. `getOrBuild()` holds the
+ * key's shard lock across the build, so each unique group is planned
+ * and compiled exactly once process-wide even when many sessions race
+ * on the same cold key (losers block briefly, then hit).
+ */
 class Memoizer
 {
   public:
     struct Stats
     {
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-        std::size_t entries = 0;
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+        std::atomic<std::uint64_t> entries{0};
         /**
          * Executable plans lowered on behalf of this cache: one per
          * inserted group carrying a compiled kernel. A hit reuses the
          * cached kernel's plan pointer, so this stays constant in
-         * steady state (no re-lowering).
+         * steady state (no re-lowering) — and with a shared cache it
+         * counts unique plans process-wide, not per session.
          */
-        std::uint64_t plansLowered = 0;
+        std::atomic<std::uint64_t> plansLowered{0};
     };
 
     /**
@@ -95,6 +110,16 @@ class Memoizer
 
     void insert(const std::string &key, CachedGroup group);
 
+    /**
+     * Atomic lookup-or-insert: on a miss, `build` runs under the
+     * key's shard lock and its result is cached — the exactly-once
+     * compile path concurrent sessions use. Counts one hit or one
+     * miss, exactly like lookup()+insert().
+     */
+    const CachedGroup *
+    getOrBuild(const std::string &key,
+               const std::function<CachedGroup()> &build);
+
     /** Convert an ExecutionGroup into its canonical cached form. */
     static CachedGroup canonicalize(const ExecutionGroup &group,
                                     std::span<const StoreId> slots);
@@ -105,10 +130,22 @@ class Memoizer
                                       std::span<const StoreId> slots);
 
     const Stats &stats() const { return stats_; }
-    void resetStats() { stats_.hits = stats_.misses = 0; }
+    void resetStats() { stats_.hits = 0; stats_.misses = 0; }
 
   private:
-    std::unordered_map<std::string, CachedGroup> cache_;
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unordered_map<std::string, CachedGroup> map;
+    };
+
+    Shard &shardFor(const std::string &key);
+    /** Record an insertion's stats (shard lock held). */
+    void countInsert(const CachedGroup &group);
+
+    std::array<Shard, kShards> shards_;
     Stats stats_;
 };
 

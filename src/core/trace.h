@@ -28,7 +28,10 @@
 #ifndef DIFFUSE_CORE_TRACE_H
 #define DIFFUSE_CORE_TRACE_H
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,8 +45,14 @@ namespace diffuse {
 
 /** Upper bound on events recorded per epoch (memory backstop). */
 constexpr int kTraceMaxEvents = 4096;
-/** Upper bound on cached epochs per runtime instance. */
+/** Upper bound on cached epochs per TraceCache — per runtime when
+ * isolated, process-wide when sessions share one (core/context.h). */
 constexpr std::size_t kTraceMaxEntries = 64;
+/** Upper bound on coexisting state-signature variants of one code
+ * stream: beyond it, a new capture replaces the coldest variant
+ * instead of appending, so a stream whose entry state drifts every
+ * repetition cannot fill the whole cache. */
+constexpr std::size_t kTraceMaxVariants = 4;
 
 /** One middle-layer event between two window flushes. */
 enum class TraceEventKind : std::uint8_t {
@@ -88,18 +97,21 @@ struct TraceUnit
     std::vector<rt::RecordedSubmission> subs;
 };
 
-/** A fully captured epoch: the replayable planner/runtime output. */
+/** A fully captured epoch: the replayable planner/runtime output.
+ * Immutable once stored (`replays` is the one exception, an atomic
+ * gauge) — sessions sharing a cache replay one epoch concurrently. */
 struct TraceEpoch
 {
     /** Canonical per-event encodings (code 0 embeds the entry window
-     * size; each code embeds shape/dtype facts of new slots). */
+     * size and the session's planning fingerprint; each code embeds
+     * shape/dtype facts of new slots). */
     std::vector<std::string> codes;
     /** Per-slot runtime state signature at first appearance. */
     std::vector<std::uint64_t> slotSigs;
     std::vector<TraceUnit> units;
     int windowSizeAfter = 0;
     std::uint32_t growths = 0;
-    std::uint64_t replays = 0;
+    std::atomic<std::uint64_t> replays{0};
 };
 
 /**
@@ -113,6 +125,19 @@ class EpochEncoder
 {
   public:
     void reset(int window_size);
+
+    /**
+     * Planning fingerprint embedded in the first code: everything
+     * outside the event stream that shapes the planner's and
+     * runtime's output (planner options, worker and rank counts,
+     * execution mode, task-registry identity). Sessions sharing one
+     * cache only match epochs captured under identical planning
+     * configuration. Set as the epoch's first code is built — the
+     * registry half only settles once libraries have registered,
+     * which is after the runtime constructor resets this encoder for
+     * its first epoch.
+     */
+    void setSalt(std::uint64_t salt) { salt_ = salt; }
 
     /**
      * Encode one event. New stores are assigned slots and appended to
@@ -135,20 +160,35 @@ class EpochEncoder
     std::unordered_map<StoreId, int> slotOf_;
     std::vector<StoreId> slots_;
     int windowSize_ = 0;
+    std::uint64_t salt_ = 0;
     bool first_ = true;
 };
 
 /**
- * The per-runtime trace store. Epochs are bucketed by their first
- * event code, so speculation starts with the (few) candidates whose
- * opening matches and narrows them as events arrive.
+ * The trace store — per runtime when isolated, shared by every
+ * session of a process under core/context.h. Epochs are bucketed by
+ * their first event code, so speculation starts with the (few)
+ * candidates whose opening matches and narrows them as events arrive.
+ *
+ * Thread-safe under sharded locks: buckets hash to independently
+ * locked shards, candidates() hands out a snapshot of shared_ptr
+ * epochs (a replacement store() drops only the cache's reference, so
+ * a session mid-speculation keeps its candidate alive and replays it
+ * against its own, still-matching state), and stored epochs are
+ * immutable.
  */
 class TraceCache
 {
   public:
-    /** Candidate epochs whose stream opens with `first_code`. */
-    const std::vector<std::unique_ptr<TraceEpoch>> *
-    candidates(const std::string &first_code) const;
+    /**
+     * Snapshot the candidate epochs whose stream opens with
+     * `first_code` into `out` (cleared first). Returns whether the
+     * bucket exists at all — an absent bucket in a full cache can
+     * never admit a capture, an empty-looking present one can
+     * (replacement of a stale epoch).
+     */
+    bool candidates(const std::string &first_code,
+                    std::vector<std::shared_ptr<TraceEpoch>> *out) const;
 
     /**
      * Store a captured epoch. An existing epoch with the identical
@@ -156,15 +196,29 @@ class TraceCache
      * bits went stale); otherwise the epoch is appended, unless the
      * cache is full — then it is dropped and false returned.
      */
-    bool store(std::unique_ptr<TraceEpoch> epoch);
+    bool store(std::shared_ptr<TraceEpoch> epoch);
 
-    std::size_t entries() const { return entries_; }
+    std::size_t entries() const
+    {
+        return entries_.load(std::memory_order_relaxed);
+    }
 
   private:
-    std::unordered_map<std::string,
-                       std::vector<std::unique_ptr<TraceEpoch>>>
-        byFirst_;
-    std::size_t entries_ = 0;
+    static constexpr std::size_t kShards = 8;
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string,
+                           std::vector<std::shared_ptr<TraceEpoch>>>
+            byFirst;
+    };
+
+    Shard &shardFor(const std::string &first_code);
+    const Shard &shardFor(const std::string &first_code) const;
+
+    std::array<Shard, kShards> shards_;
+    std::atomic<std::size_t> entries_{0};
 };
 
 } // namespace diffuse

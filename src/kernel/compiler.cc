@@ -29,8 +29,15 @@ JitCompiler::finish(KernelFunction fn, double wall_start)
         backendCodegenSeconds(fn.instructionCount(), fn.nests.size());
     out->fn = std::move(fn);
 
-    stats_.kernelsCompiled++;
-    stats_.plansLowered++;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_.kernelsCompiled++;
+        stats_.plansLowered++;
+        stats_.measuredSeconds += out->cost.measuredSeconds;
+        stats_.modeledSeconds += out->cost.modeledSeconds;
+        stats_.loopsFused += out->pipeline.loopsFused;
+        stats_.localsEliminated += out->pipeline.localsEliminated;
+    }
     const char *dbg = std::getenv("DIFFUSE_DEBUG_COMPILE");
     if (dbg != nullptr) {
         std::size_t tape = 0;
@@ -45,10 +52,6 @@ JitCompiler::finish(KernelFunction fn, double wall_start)
         if (dbg[0] == '2')
             std::fprintf(stderr, "%s", out->fn.dump().c_str());
     }
-    stats_.measuredSeconds += out->cost.measuredSeconds;
-    stats_.modeledSeconds += out->cost.modeledSeconds;
-    stats_.loopsFused += out->pipeline.loopsFused;
-    stats_.localsEliminated += out->pipeline.localsEliminated;
     return out;
 }
 

@@ -11,6 +11,7 @@
 #define DIFFUSE_KERNEL_COMPILER_H
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -52,7 +53,10 @@ struct CompilerStats
 
 /**
  * Compiles kernel functions. Owns no cache: callers (the memoizer)
- * decide reuse policy.
+ * decide reuse policy. Compilation itself is a pure function of the
+ * input IR; the stats record is mutex-guarded, so one compiler may
+ * serve several sessions compiling concurrently (core/context.h) —
+ * read stats() only from quiescent points (no compile in flight).
  */
 class JitCompiler
 {
@@ -75,13 +79,26 @@ class JitCompiler
                  std::vector<BufferInfo> fused_buffers, int num_args,
                  int num_scalars);
 
-    const CompilerStats &stats() const { return stats_; }
-    void resetStats() { stats_ = CompilerStats(); }
+    /** Snapshot under the stats mutex: safe to call while another
+     * session's compile is in flight. */
+    CompilerStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        return stats_;
+    }
+    void
+    resetStats()
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_ = CompilerStats();
+    }
 
   private:
     std::shared_ptr<CompiledKernel> finish(KernelFunction fn,
                                            double wall_start);
 
+    mutable std::mutex statsMutex_;
     CompilerStats stats_;
 };
 

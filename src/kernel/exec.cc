@@ -970,19 +970,66 @@ Executor::runCsr(const LoopNest &nest,
 // WorkerPool
 // ---------------------------------------------------------------------
 
+namespace {
+
+/** Live pool helper threads, process-wide (lazy-start regression
+ * tests: N sessions sharing one pool spawn at most one pool's
+ * worth of threads). */
+std::atomic<int> g_liveThreads{0};
+
+} // namespace
+
 int
 WorkerPool::defaultWorkers()
 {
     return envInt("DIFFUSE_WORKERS", 1, 1, 1024);
 }
 
+int
+WorkerPool::liveThreads()
+{
+    return g_liveThreads.load(std::memory_order_relaxed);
+}
+
 WorkerPool::WorkerPool(int workers)
 {
     if (workers <= 0)
         workers = defaultWorkers();
-    threads_.reserve(std::size_t(workers - 1));
-    for (int w = 1; w < workers; w++)
-        threads_.emplace_back(&WorkerPool::workerLoop, this, w);
+    target_.store(workers, std::memory_order_relaxed);
+    // Threads spawn lazily in ensureSpawnedLocked(): a pool that only
+    // ever runs sequential work (Simulated mode, workers=1 sessions,
+    // idle sessions of a shared pool) costs nothing.
+}
+
+void
+WorkerPool::reserve(int workers)
+{
+    if (workers <= target_.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (workers > target_.load(std::memory_order_relaxed))
+        target_.store(workers, std::memory_order_relaxed);
+}
+
+int
+WorkerPool::threadsSpawned() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return int(threads_.size());
+}
+
+void
+WorkerPool::ensureSpawnedLocked(int cap)
+{
+    // Spawn only what this job can actually seat (cap - 1 helpers):
+    // a small-worker session on a large shared pool must not start
+    // threads that could never claim one of its slots. Later jobs
+    // with a larger cap grow the pool then.
+    int want = std::min(target_.load(std::memory_order_relaxed), cap) - 1;
+    while (int(threads_.size()) < want) {
+        threads_.emplace_back(&WorkerPool::workerLoop, this);
+        g_liveThreads.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 WorkerPool::~WorkerPool()
@@ -994,32 +1041,30 @@ WorkerPool::~WorkerPool()
     start_.notify_all();
     for (std::thread &t : threads_)
         t.join();
+    g_liveThreads.fetch_sub(int(threads_.size()),
+                            std::memory_order_relaxed);
 }
 
 void
-WorkerPool::runShare(int worker)
+WorkerPool::runShare(int slot)
 {
-    // A worker that wakes after the job already completed (the caller
-    // saw active_ == 0 and cleared fn_) has nothing to do.
-    const std::function<void(int, coord_t, coord_t)> *fnp = fn_;
-    if (fnp == nullptr)
-        return;
-    const std::function<void(int, coord_t, coord_t)> &fn = *fnp;
+    const std::function<void(int, coord_t, coord_t)> &fn = *fn_;
     for (;;) {
         coord_t c = nextChunk_.fetch_add(1, std::memory_order_relaxed);
         if (c >= numChunks_)
             break;
         coord_t begin = c * chunk_;
         coord_t end = std::min(numItems_, begin + chunk_);
-        fn(worker, begin, end);
+        fn(slot, begin, end);
     }
 }
 
 void
-WorkerPool::workerLoop(int worker)
+WorkerPool::workerLoop()
 {
     std::uint64_t seen = 0;
     for (;;) {
+        int slot;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             start_.wait(lock, [&] {
@@ -1028,9 +1073,23 @@ WorkerPool::workerLoop(int worker)
             if (stop_)
                 return;
             seen = generation_;
+            // Participation is decided under the lock: a worker that
+            // wakes after its generation's job already completed sees
+            // fn_ == nullptr (cleared under this mutex) and must not
+            // touch the slot counter — the next job's publish resets
+            // it, and an unlocked claim could hand one dense slot id
+            // to two threads (racing scratch-state corruption).
+            if (fn_ == nullptr)
+                continue;
+            // Dense job-slot ids let callers size per-slot scratch to
+            // their own worker budget; threads beyond the job's cap
+            // sit it out.
+            slot = nextSlot_++;
+            if (slot >= slotLimit_)
+                continue;
             active_++;
         }
-        runShare(worker);
+        runShare(slot);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             active_--;
@@ -1044,11 +1103,30 @@ WorkerPool::parallelForChunked(
     coord_t n, coord_t chunk,
     const std::function<void(int, coord_t, coord_t)> &fn)
 {
+    parallelForChunked(n, chunk, workers(), fn);
+}
+
+void
+WorkerPool::parallelForChunked(
+    coord_t n, coord_t chunk, int max_workers,
+    const std::function<void(int, coord_t, coord_t)> &fn)
+{
     if (n <= 0)
         return;
     if (chunk <= 0)
         chunk = 1;
-    if (threads_.empty() || n <= chunk) {
+    int cap = std::min(max_workers, workers());
+    if (cap <= 1 || n <= chunk) {
+        fn(0, 0, n);
+        return;
+    }
+    // One job at a time: job state is never owned by two callers at
+    // once. A session that finds the (shared) pool busy runs its job
+    // serially on its own thread instead of idling — results are
+    // worker-count-invariant by construction, so this only trades
+    // one job's internal parallelism for cross-session parallelism.
+    std::unique_lock<std::mutex> job(jobMutex_, std::try_to_lock);
+    if (!job.owns_lock()) {
         fn(0, 0, n);
         return;
     }
@@ -1057,11 +1135,14 @@ WorkerPool::parallelForChunked(
         // 0) is guaranteed by the wait at the end of this function, so
         // job state is never mutated while a worker reads it.
         std::lock_guard<std::mutex> lock(mutex_);
+        ensureSpawnedLocked(cap);
         fn_ = &fn;
         numItems_ = n;
         chunk_ = chunk;
         numChunks_ = (n + chunk - 1) / chunk;
         nextChunk_.store(0, std::memory_order_relaxed);
+        nextSlot_ = 1;
+        slotLimit_ = cap;
         generation_++;
     }
     start_.notify_all();
@@ -1075,9 +1156,16 @@ void
 WorkerPool::parallelFor(coord_t n,
                         const std::function<void(int, coord_t)> &fn)
 {
+    parallelFor(n, workers(), fn);
+}
+
+void
+WorkerPool::parallelFor(coord_t n, int max_workers,
+                        const std::function<void(int, coord_t)> &fn)
+{
     if (n <= 0)
         return;
-    if (threads_.empty() || n == 1) {
+    if (std::min(max_workers, workers()) <= 1 || n == 1) {
         for (coord_t i = 0; i < n; i++)
             fn(0, i);
         return;
@@ -1086,7 +1174,7 @@ WorkerPool::parallelFor(coord_t n,
         for (coord_t i = begin; i < end; i++)
             fn(worker, i);
     };
-    parallelForChunked(n, 1, ranged);
+    parallelForChunked(n, 1, max_workers, ranged);
 }
 
 } // namespace kir

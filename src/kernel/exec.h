@@ -271,33 +271,64 @@ class Executor
 };
 
 /**
- * Fixed pool of worker threads for sharding the strip/row ranges of a
- * retired index task. Worker 0 is the calling thread; `workers() - 1`
- * threads are spawned at construction and parked between jobs. Ranges
- * are claimed from a shared atomic counter, so load balance is dynamic
- * but any determinism requirement must be met by indexing results by
- * item (not by worker), as the runtime's reduction merge does.
+ * Pool of worker threads for sharding the strip/row ranges of a
+ * retired index task. Worker 0 is the calling thread; up to
+ * `workers() - 1` helper threads are spawned **lazily** on the first
+ * job that can use them (a pool that never runs parallel work never
+ * spawns a thread) and parked on a condition variable between jobs.
+ * Ranges are claimed from a shared atomic counter, so load balance is
+ * dynamic but any determinism requirement must be met by indexing
+ * results by item (not by worker), as the runtime's reduction merge
+ * does.
+ *
+ * One pool may be shared by several runtime sessions (see
+ * core/context.h): jobs from different calling threads serialize on
+ * an internal job mutex, `reserve()` raises the thread target to the
+ * largest session request, and each job caps its dense worker-slot
+ * ids at the caller's `max_workers` — so a workers=1 session sharing
+ * an 8-thread pool still executes exactly like an isolated workers=1
+ * runtime, and per-session scratch arrays sized for `max_workers`
+ * slots are never indexed beyond it.
  */
 class WorkerPool
 {
   public:
-    /** `workers` <= 0 selects defaultWorkers(). */
+    /** `workers` <= 0 selects defaultWorkers(). No threads spawn
+     * until the first parallel job needs them. */
     explicit WorkerPool(int workers = 0);
     ~WorkerPool();
 
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
 
-    /** Total workers, including the calling thread. */
-    int workers() const { return int(threads_.size()) + 1; }
+    /** Target worker count, including the calling thread. */
+    int workers() const
+    {
+        return target_.load(std::memory_order_relaxed);
+    }
+
+    /** Raise the thread target (shared pools: sessions requesting
+     * more workers grow the one pool instead of spawning their own).
+     * Never shrinks. */
+    void reserve(int workers);
+
+    /** Helper threads actually spawned so far (lazy-start tests). */
+    int threadsSpawned() const;
+
+    /** Process-wide gauge of live pool helper threads (tests: N
+     * sessions sharing one pool spawn at most one pool's worth). */
+    static int liveThreads();
 
     /**
      * Run `fn(worker, item)` for every item in [0, n), distributing
      * items across workers; blocks until all items complete. `worker`
-     * is a dense id in [0, workers()) usable to index scratch state.
-     * Must not be called re-entrantly from inside a job.
+     * is a dense id in [0, min(max_workers, workers())) usable to
+     * index scratch state. Must not be called re-entrantly from
+     * inside a job.
      */
     void parallelFor(coord_t n,
+                     const std::function<void(int, coord_t)> &fn);
+    void parallelFor(coord_t n, int max_workers,
                      const std::function<void(int, coord_t)> &fn);
 
     /**
@@ -309,6 +340,9 @@ class WorkerPool
     void
     parallelForChunked(coord_t n, coord_t chunk,
                        const std::function<void(int, coord_t, coord_t)> &fn);
+    void
+    parallelForChunked(coord_t n, coord_t chunk, int max_workers,
+                       const std::function<void(int, coord_t, coord_t)> &fn);
 
     /**
      * Worker count from the environment: DIFFUSE_WORKERS when set (>=
@@ -318,18 +352,31 @@ class WorkerPool
     static int defaultWorkers();
 
   private:
-    void workerLoop(int worker);
-    void runShare(int worker);
+    void workerLoop();
+    void runShare(int slot);
+    /** Spawn helper threads up to min(target, job cap) (mutex_
+     * held). */
+    void ensureSpawnedLocked(int cap);
 
     std::vector<std::thread> threads_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable start_;
     std::condition_variable done_;
+    /** Serializes whole jobs: a shared pool runs one session's job at
+     * a time (callers block; no interleaved job state). */
+    std::mutex jobMutex_;
     const std::function<void(int, coord_t, coord_t)> *fn_ = nullptr;
     std::atomic<coord_t> nextChunk_{0};
     coord_t numItems_ = 0;
     coord_t chunk_ = 1;
     coord_t numChunks_ = 0;
+    /** Dense worker-slot ids for the current job: spawned threads
+     * claim 1..slotLimit_-1 under mutex_; excess threads sit the job
+     * out (the caller always owns slot 0). */
+    int nextSlot_ = 1;
+    int slotLimit_ = 1;
+    /** Thread target (callers may reserve() it upward at any time). */
+    std::atomic<int> target_{1};
     /** Spawned workers currently inside runShare(). */
     int active_ = 0;
     std::uint64_t generation_ = 0;

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/geometry.h"
 #include "common/logging.h"
 #include "common/types.h"
 #include "kernel/ir.h"
@@ -86,9 +87,28 @@ class Registry
         e.name = name;
         e.generator = std::move(gen);
         e.opaque = opaque;
+        // Fold this registration into the identity fingerprint: the
+        // meaning of a task-type id is exactly the ordered history of
+        // registrations (name + opacity + generator presence).
+        hashCombine64(fingerprint_, std::hash<std::string>{}(name));
+        hashCombine64(fingerprint_, (opaque ? 2u : 0u) |
+                                        (e.generator ? 1u : 0u));
         entries_.push_back(std::move(e));
         return TaskTypeId(entries_.size() - 1);
     }
+
+    /**
+     * Identity of the registration history. Sessions sharing a
+     * process-wide cache (core/context.h) mix this into every cache
+     * key, so sessions whose library *sets or registration order*
+     * diverge never reuse each other's kernels for a same-valued
+     * task-type id. Generator bodies are not hashed (std::function
+     * has no stable identity): two libraries registering the same
+     * name at the same position with different semantics would still
+     * collide — names are treated as the operation's identity, as
+     * the bundled libraries guarantee.
+     */
+    std::uint64_t fingerprint() const { return fingerprint_; }
 
     bool
     isOpaque(TaskTypeId id) const
@@ -128,6 +148,7 @@ class Registry
     };
 
     std::vector<Entry> entries_;
+    std::uint64_t fingerprint_ = 0x52454749u; // "REGI"
 };
 
 } // namespace kir

@@ -43,16 +43,25 @@ crossPointOverlap(const std::vector<Rect> &a, const std::vector<Rect> &b)
 } // namespace
 
 LowRuntime::LowRuntime(const MachineConfig &machine, ExecutionMode mode,
-                       int workers, int ranks)
+                       int workers, int ranks,
+                       std::shared_ptr<kir::WorkerPool> shared_pool)
     : machine_(machine), mode_(mode),
       // Simulated mode never runs point tasks: no worker threads.
-      pool_(mode == ExecutionMode::Simulated ? 1 : workers),
-      executors_(std::size_t(pool_.workers())),
-      workerBindings_(std::size_t(pool_.workers())),
+      workers_(mode == ExecutionMode::Simulated
+                   ? 1
+                   : (workers > 0 ? workers
+                                  : kir::WorkerPool::defaultWorkers())),
+      pool_(std::move(shared_pool)),
+      executors_(std::size_t(workers_)),
+      workerBindings_(std::size_t(workers_)),
       shards_(mode,
               ranks > 0 ? ranks : envInt("DIFFUSE_RANKS", 1, 1, 4096)),
       stream_(machine)
 {
+    if (pool_ == nullptr)
+        pool_ = std::make_shared<kir::WorkerPool>(workers_);
+    else
+        pool_->reserve(workers_);
     stream_.setExecuteFn(
         [this](const LaunchedTask &task) { executeRetired(task); });
     stream_.setRetireFn(
@@ -520,7 +529,7 @@ LowRuntime::submit(LaunchedTask task)
     // Only Real mode shards retired point tasks, so only it pays for
     // the independence analysis.
     task.parallelSafe = mode_ == ExecutionMode::Real &&
-                        pool_.workers() > 1 && pointsIndependent(task);
+                        workers_ > 1 && pointsIndependent(task);
 
     for (const LowArg &arg : task.args)
         rec(arg.store).pendingUses++;
@@ -845,7 +854,7 @@ LowRuntime::executeRetired(const LaunchedTask &task)
     }
 
     int np = task.numPoints;
-    if (!task.parallelSafe || pool_.workers() == 1 || np <= 1) {
+    if (!task.parallelSafe || workers_ == 1 || np <= 1) {
         // Sequential reference path: point tasks in point order, each
         // on the vector executor with the kernel's cached plan (or on
         // the scalar oracle under DIFFUSE_SCALAR_EXEC=1).
@@ -888,7 +897,7 @@ LowRuntime::executeRetired(const LaunchedTask &task)
     if (scalar_oracle || task.kernel->plan == nullptr) {
         // Oracle path: whole points shard across workers, private
         // interpreter state per worker (the pre-plan reference shape).
-        pool_.parallelFor(np, [&](int worker, coord_t p) {
+        pool_->parallelFor(np, workers_, [&](int worker, coord_t p) {
             std::vector<kir::BufferBinding> &b =
                 workerBindings_[std::size_t(worker)];
             buildBindings(task, int(p), b, true);
@@ -966,7 +975,7 @@ LowRuntime::executeSharded(
                 ranged = false;
         }
         if (!ranged) {
-            pool_.parallelFor(np, [&](int worker, coord_t p) {
+            pool_->parallelFor(np, workers_, [&](int worker, coord_t p) {
                 executors_[std::size_t(worker)].runNest(
                     pointCtxs_[std::size_t(p)], int(n));
             });
@@ -985,9 +994,10 @@ LowRuntime::executeSharded(
             continue;
 
         coord_t chunk = std::max<coord_t>(
-            1, total / (coord_t(pool_.workers()) * 8));
+            1, total / (coord_t(workers_) * 8));
         std::uint64_t epoch = ++stripEpoch_;
-        pool_.parallelForChunked(total, chunk, [&](int worker,
+        pool_->parallelForChunked(total, chunk, workers_,
+                                  [&](int worker,
                                                    coord_t begin,
                                                    coord_t end) {
             kir::Executor &ex = executors_[std::size_t(worker)];

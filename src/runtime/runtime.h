@@ -171,9 +171,17 @@ class LowRuntime
      *        DIFFUSE_RANKS from the environment (default 1 — the
      *        single-allocation path). Results are bit-identical for
      *        every rank count.
+     * @param shared_pool Worker pool to execute on. Null constructs a
+     *        private pool (the historical per-runtime behavior); a
+     *        shared pool (core/context.h sessions) is reserve()d up
+     *        to `workers` and multiplexed across runtimes, while this
+     *        runtime's sharding decisions and per-slot scratch keep
+     *        using its own `workers` — behavior is identical to a
+     *        private pool of that size.
      */
     LowRuntime(const MachineConfig &machine, ExecutionMode mode,
-               int workers = 0, int ranks = 0);
+               int workers = 0, int ranks = 0,
+               std::shared_ptr<kir::WorkerPool> shared_pool = nullptr);
 
     /**
      * Create a store. In Real mode the allocation is host memory
@@ -243,7 +251,7 @@ class LowRuntime
     RuntimeStats &stats() { return stats_; }
     const RuntimeStats &stats() const { return stats_; }
     const StreamStats &streamStats() const { return stream_.stats(); }
-    int workers() const { return pool_.workers(); }
+    int workers() const { return workers_; }
     int ranks() const { return shards_.ranks(); }
     const ShardManager &shards() const { return shards_; }
 
@@ -426,7 +434,11 @@ class LowRuntime
     std::size_t zombies_ = 0;
     std::vector<ImageData> images_;
     StoreId nextStore_ = 1;
-    kir::WorkerPool pool_;
+    /** This runtime's worker budget: sharding decisions and per-slot
+     * scratch sizing use it, never the (possibly larger, shared)
+     * pool's thread target. */
+    int workers_ = 1;
+    std::shared_ptr<kir::WorkerPool> pool_;
     /** Per-worker executor state (executors are not thread-safe). */
     std::vector<kir::Executor> executors_;
     std::vector<std::vector<kir::BufferBinding>> workerBindings_;

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Concurrent multi-session serving stress: N threads × M sessions per
+ * thread submit randomized mixed application windows (the fuzzer's
+ * seeded DAG recipe: element-wise chains, aliasing slice writes,
+ * reductions fed back as coefficients, scalar read-backs) against one
+ * SharedContext, racing on the shared compile/memo/trace caches and
+ * the one worker pool. Every session's live arrays must be **bitwise**
+ * identical to that seed's single-threaded, fully isolated reference
+ * run — across workers 1/8 × ranks 1/2 × trace on/off × shared-cache
+ * on/off.
+ *
+ * Seeds repeat across threads deliberately: concurrent sessions race
+ * on the *same* cold cache keys (exactly-once compile under the shard
+ * locks) and then replay each other's trace epochs.
+ *
+ * The default run is the tier-1 smoke (4 threads × 2 sessions, a
+ * config subset). DIFFUSE_STRESS_FULL=1 — set by the `stress_full`
+ * ctest target (label `slow`) and the TSan CI job — runs 8 threads ×
+ * 8 sessions over the full configuration matrix. This suite is the
+ * ThreadSanitizer target: it must be TSan-clean.
+ *
+ * gtest assertions are not thread-safe, so worker threads only
+ * compute; all comparisons happen on the main thread after join.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/context.h"
+#include "cunumeric/ndarray.h"
+
+namespace diffuse {
+namespace {
+
+using num::Context;
+using num::NDArray;
+
+struct StressConfig
+{
+    int workers = 1;
+    int ranks = 1;
+    int trace = 1;
+    int sharedCache = 1;
+
+    std::string
+    label() const
+    {
+        return "w" + std::to_string(workers) + "/r" +
+               std::to_string(ranks) + "/t" + std::to_string(trace) +
+               "/s" + std::to_string(sharedCache);
+    }
+};
+
+DiffuseOptions
+optionsFor(const StressConfig &cfg)
+{
+    DiffuseOptions o;
+    o.mode = rt::ExecutionMode::Real;
+    o.workers = cfg.workers;
+    o.ranks = cfg.ranks;
+    o.trace = cfg.trace;
+    o.sharedCache = cfg.sharedCache;
+    return o;
+}
+
+std::vector<std::uint64_t>
+bits(const std::vector<double> &v)
+{
+    std::vector<std::uint64_t> out(v.size());
+    std::memcpy(out.data(), v.data(), v.size() * sizeof(double));
+    return out;
+}
+
+/**
+ * One session's workload: a seeded random loop body (drawn once per
+ * seed, so every session on the same seed submits an isomorphic
+ * window stream — the steady state the shared caches exist for),
+ * repeated three times with a flush each. Returns the bits of the
+ * persistent arrays.
+ */
+std::vector<std::vector<std::uint64_t>>
+runStressBody(DiffuseRuntime &rt, std::uint64_t seed)
+{
+    Context ctx(rt);
+    Rng rng(seed);
+    const coord_t n = 24 + coord_t(rng.below(17)); // 24..40
+    NDArray a = ctx.random(n, seed ^ 0x5eedULL, -1.0, 1.0);
+    NDArray b = ctx.random(n, seed ^ 0xfeedULL, -1.0, 1.0);
+
+    const int steps = 6 + int(rng.below(5));
+    std::vector<int> ops;
+    std::vector<double> coef;
+    for (int s = 0; s < steps; s++) {
+        ops.push_back(int(rng.below(6)));
+        coef.push_back(rng.uniform(-1.0, 1.0));
+    }
+
+    for (int rep = 0; rep < 3; rep++) {
+        for (int s = 0; s < steps; s++) {
+            switch (ops[std::size_t(s)]) {
+              case 0: {
+                NDArray t = ctx.add(a, b);
+                ctx.assign(a, t);
+                break;
+              }
+              case 1: {
+                NDArray t = ctx.mulScalar(coef[std::size_t(s)], b);
+                ctx.assign(b, t);
+                break;
+              }
+              case 2: {
+                // Loop-variant coefficient: trace replay rebinds it.
+                NDArray t = ctx.axpy(
+                    a, coef[std::size_t(s)] / double(rep + 1), b);
+                ctx.assign(a, t);
+                break;
+              }
+              case 3:
+                // Aliasing slice write (sequential point order
+                // observable; canonical escalation under sharding).
+                ctx.assign(a.slice(1, n), b.slice(0, n - 1));
+                break;
+              case 4: {
+                NDArray alpha = ctx.dot(a, b);
+                NDArray t = ctx.axpyS(a, alpha, b);
+                ctx.assign(b, t);
+                break;
+              }
+              default:
+                (void)ctx.value(ctx.sum(a)); // mid-body flush
+                break;
+            }
+        }
+        rt.flushWindow();
+    }
+    return {bits(ctx.toHost(a)), bits(ctx.toHost(b))};
+}
+
+std::uint64_t
+seedFor(int thread, int session)
+{
+    // Few distinct seeds, repeated across threads: concurrent
+    // sessions race on identical cache keys.
+    return 0x57E55ULL + std::uint64_t((thread + session) % 3) * 7919;
+}
+
+void
+runMatrix(const std::vector<StressConfig> &configs, int threads,
+          int sessions_per_thread)
+{
+    using Results = std::vector<std::vector<std::uint64_t>>;
+    for (const StressConfig &cfg : configs) {
+        // Single-threaded, fully isolated reference per seed.
+        std::vector<Results> expect(3);
+        for (int s = 0; s < 3; s++) {
+            DiffuseOptions o = optionsFor(cfg);
+            o.sharedCache = 0;
+            DiffuseRuntime iso(rt::MachineConfig::withGpus(4), o);
+            expect[std::size_t(s)] = runStressBody(
+                iso, 0x57E55ULL + std::uint64_t(s) * 7919);
+        }
+
+        auto ctx = SharedContext::create(rt::MachineConfig::withGpus(4));
+        std::vector<std::vector<Results>> got;
+        got.resize(std::size_t(threads));
+        for (std::vector<Results> &row : got)
+            row.resize(std::size_t(sessions_per_thread));
+        std::vector<std::thread> pool;
+        pool.reserve(std::size_t(threads));
+        for (int t = 0; t < threads; t++) {
+            pool.emplace_back([&, t] {
+                for (int m = 0; m < sessions_per_thread; m++) {
+                    auto session =
+                        ctx->createSession(optionsFor(cfg));
+                    got[std::size_t(t)][std::size_t(m)] =
+                        runStressBody(*session, seedFor(t, m));
+                }
+            });
+        }
+        for (std::thread &th : pool)
+            th.join();
+
+        for (int t = 0; t < threads; t++) {
+            for (int m = 0; m < sessions_per_thread; m++) {
+                int s = (t + m) % 3;
+                ASSERT_EQ(got[std::size_t(t)][std::size_t(m)],
+                          expect[std::size_t(s)])
+                    << "config " << cfg.label() << " thread " << t
+                    << " session " << m;
+            }
+        }
+        if (cfg.sharedCache == 1) {
+            // Shared-cache sanity: the matching seeds across threads
+            // deduplicated work process-wide.
+            EXPECT_GT(ctx->memo().stats().hits, 0u)
+                << "config " << cfg.label();
+            EXPECT_EQ(ctx->sessionsCreated(),
+                      std::uint64_t(threads * sessions_per_thread));
+        }
+    }
+}
+
+TEST(ConcurrencyStress, SmokeMixedSessionsBitwiseEqualSerialReference)
+{
+    // Tier-1 smoke: a fast subset covering both shared and isolated
+    // sessions, trace on/off, and the sharded/multi-worker paths.
+    const std::vector<StressConfig> configs = {
+        {1, 1, 1, 1}, // baseline serving configuration
+        {8, 2, 1, 1}, // workers x ranks over shared caches
+        {8, 1, 0, 1}, // shared caches without the trace layer
+        {1, 2, 1, 0}, // isolated sessions (shared-cache oracle)
+    };
+    runMatrix(configs, 4, 2);
+}
+
+TEST(ConcurrencyStress, FullMatrixEightThreadsEightSessions)
+{
+    if (std::getenv("DIFFUSE_STRESS_FULL") == nullptr) {
+        GTEST_SKIP() << "full matrix runs under DIFFUSE_STRESS_FULL=1 "
+                        "(ctest target stress_full, label slow)";
+    }
+    std::vector<StressConfig> configs;
+    for (int workers : {1, 8})
+        for (int ranks : {1, 2})
+            for (int trace : {1, 0})
+                for (int shared : {1, 0})
+                    configs.push_back({workers, ranks, trace, shared});
+    runMatrix(configs, 8, 8);
+}
+
+} // namespace
+} // namespace diffuse

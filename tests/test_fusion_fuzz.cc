@@ -291,22 +291,25 @@ TEST(FusionFuzz, AllConfigurationsBitwiseEqual)
 // DIFFUSE_TRACE=0 oracle
 // ---------------------------------------------------------------------
 
-/**
- * Run a seeded loop body `reps` times in one runtime and return the
- * bits of the persistent arrays. The op list is drawn once per seed,
- * so every repetition submits an isomorphic event stream (with
- * loop-variant scalar coefficients) — the steady state the trace
- * layer exists for. `replays_out` accumulates replayed epochs.
- */
-std::vector<std::vector<std::uint64_t>>
-runLoopProgram(std::uint64_t seed, int trace,
-               std::uint64_t *replays_out)
+DiffuseOptions
+loopProgramOptions(std::uint64_t seed, int trace)
 {
     DiffuseOptions o;
     o.mode = rt::ExecutionMode::Real;
     o.trace = trace;
     o.ranks = int(1 + seed % 3); // 1..3: exercise exchange replay too
-    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+    return o;
+}
+
+/**
+ * Run a seeded loop body `reps` times in `rt` and return the bits of
+ * the persistent arrays. The op list is drawn once per seed, so every
+ * repetition submits an isomorphic event stream (with loop-variant
+ * scalar coefficients) — the steady state the trace layer exists for.
+ */
+std::vector<std::vector<std::uint64_t>>
+runLoopBody(DiffuseRuntime &rt, std::uint64_t seed)
+{
     Context ctx(rt);
 
     Rng rng(seed);
@@ -358,9 +361,21 @@ runLoopProgram(std::uint64_t seed, int trace,
         }
         rt.flushWindow();
     }
+    return {bits(ctx.toHost(a)), bits(ctx.toHost(b))};
+}
+
+/** Fresh-runtime wrapper around runLoopBody (the historical shape).
+ * `replays_out` accumulates replayed epochs. */
+std::vector<std::vector<std::uint64_t>>
+runLoopProgram(std::uint64_t seed, int trace,
+               std::uint64_t *replays_out)
+{
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4),
+                      loopProgramOptions(seed, trace));
+    auto out = runLoopBody(rt, seed);
     if (replays_out)
         *replays_out += rt.fusionStats().traceEpochsReplayed;
-    return {bits(ctx.toHost(a)), bits(ctx.toHost(b))};
+    return out;
 }
 
 TEST(FusionFuzz, RepeatedBodiesReplayBitwise)
@@ -376,6 +391,59 @@ TEST(FusionFuzz, RepeatedBodiesReplayBitwise)
     // Repetition two and three of every seed hit the cache; across
     // the whole run replays must have happened.
     EXPECT_GT(replays, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Shared-cache dimension (core/context.h): two sequential sessions
+// over the same seeded DAG must be bitwise-identical to one
+// fresh-runtime run, with the second session fully reusing the
+// first's compiled plans and trace epochs
+// ---------------------------------------------------------------------
+
+TEST(FusionFuzz, SharedCacheSessionsBitwiseEqualAndFullyReused)
+{
+    const int seeds = envInt("DIFFUSE_FUZZ_SEEDS", 8, 1, 100000);
+    for (int s = 0; s < seeds; s++) {
+        std::uint64_t seed = 0x5ca1e + std::uint64_t(s) * 7919;
+        DiffuseOptions o = loopProgramOptions(seed, /*trace=*/1);
+        // Sharing is what this test asserts: pin it against the
+        // DIFFUSE_SHARED_CACHE=0 environment matrix.
+        o.sharedCache = 1;
+
+        // One fresh, isolated runtime: the reference.
+        std::vector<std::vector<std::uint64_t>> expect;
+        {
+            DiffuseRuntime iso(rt::MachineConfig::withGpus(4), o);
+            expect = runLoopBody(iso, seed);
+        }
+
+        auto ctx = SharedContext::create(rt::MachineConfig::withGpus(4));
+        auto s1 = ctx->createSession(o);
+        auto got1 = runLoopBody(*s1, seed);
+        ASSERT_EQ(got1, expect) << "seed " << seed << " session 1";
+
+        int plans = ctx->compiler().stats().plansLowered;
+        std::uint64_t misses = ctx->memo().stats().misses;
+        std::uint64_t hits = ctx->memo().stats().hits;
+
+        auto s2 = ctx->createSession(o);
+        auto got2 = runLoopBody(*s2, seed);
+        ASSERT_EQ(got2, expect) << "seed " << seed << " session 2";
+
+        // Full reuse: the second session lowered no plans, never
+        // missed the memoizer, captured no new epochs — every window
+        // that took the analyzed path hit, and repeated windows
+        // replayed from the epochs session 1 stored.
+        EXPECT_EQ(ctx->compiler().stats().plansLowered, plans)
+            << "seed " << seed;
+        EXPECT_EQ(ctx->memo().stats().misses, misses)
+            << "seed " << seed;
+        EXPECT_GE(ctx->memo().stats().hits, hits) << "seed " << seed;
+        EXPECT_EQ(s2->fusionStats().traceEpochsCaptured, 0u)
+            << "seed " << seed;
+        EXPECT_GT(s2->fusionStats().traceEpochsReplayed, 0u)
+            << "seed " << seed;
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * The session/serving layer (core/context.h): sessions created from
+ * one SharedContext share the compiled-kernel, memoized-plan and
+ * trace-epoch caches plus a single lazily-started worker pool, and
+ * still behave bit-for-bit like isolated runtimes.
+ *
+ *  - a second session running the identical window stream lowers
+ *    zero plans and replays the shared trace wholesale;
+ *  - fusion/runtime statistics stay per-session while the
+ *    cache-population counters are process-wide;
+ *  - `sharedCache = 0` (the DIFFUSE_SHARED_CACHE opt-out) hands out
+ *    fully isolated sessions;
+ *  - tearing a session down mid-flight leaves the shared caches
+ *    usable;
+ *  - 100 sessions share one worker pool, and the pool spawns no
+ *    threads until parallel work actually runs (lazy start).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/context.h"
+#include "cunumeric/ndarray.h"
+
+namespace diffuse {
+namespace {
+
+using num::Context;
+using num::NDArray;
+
+rt::MachineConfig
+machine()
+{
+    return rt::MachineConfig::withGpus(4);
+}
+
+DiffuseOptions
+realOpts(int workers = 1)
+{
+    DiffuseOptions o;
+    o.mode = rt::ExecutionMode::Real;
+    o.workers = workers;
+    // This suite tests the shared-cache and trace machinery itself:
+    // pin both on so the DIFFUSE_SHARED_CACHE=0 / DIFFUSE_TRACE=0
+    // environment matrices (which disable them as oracles) cannot
+    // invert what is under test.
+    o.sharedCache = 1;
+    o.trace = 1;
+    return o;
+}
+
+std::vector<std::uint64_t>
+bits(const std::vector<double> &v)
+{
+    std::vector<std::uint64_t> out(v.size());
+    std::memcpy(out.data(), v.data(), v.size() * sizeof(double));
+    return out;
+}
+
+/**
+ * The canonical serving workload: the same fixed solver-flavored loop
+ * body every client session submits (axpy chains, an aliasing slice
+ * write, a reduction fed back as a coefficient, scalar read-backs),
+ * three repetitions with a flush each — enough to populate and then
+ * replay the trace cache within one session, and entirely across
+ * sessions.
+ */
+std::vector<std::vector<std::uint64_t>>
+runServingBody(DiffuseRuntime &rt, int reps = 3)
+{
+    Context ctx(rt);
+    const coord_t n = 48;
+    NDArray a = ctx.random(n, 0xA11CE, -1.0, 1.0);
+    NDArray b = ctx.random(n, 0xB0B, -1.0, 1.0);
+    for (int rep = 0; rep < reps; rep++) {
+        NDArray t = ctx.add(a, b);
+        ctx.assign(a, t);
+        NDArray alpha = ctx.dot(a, b);
+        NDArray u = ctx.axpyS(a, alpha, b);
+        ctx.assign(b, u);
+        ctx.assign(a.slice(1, n), b.slice(0, n - 1));
+        NDArray v = ctx.mulScalar(0.5, ctx.erf(a));
+        ctx.assign(a, v);
+        (void)ctx.value(ctx.sum(b));
+        rt.flushWindow();
+    }
+    return {bits(ctx.toHost(a)), bits(ctx.toHost(b))};
+}
+
+TEST(Sessions, SecondSessionLowersZeroPlansAndReplaysSharedTrace)
+{
+    // Isolated single-client reference.
+    std::vector<std::vector<std::uint64_t>> expect;
+    {
+        DiffuseRuntime iso(machine(), realOpts());
+        expect = runServingBody(iso);
+    }
+
+    auto ctx = SharedContext::create(machine());
+    auto s1 = ctx->createSession(realOpts());
+    auto r1 = runServingBody(*s1);
+    EXPECT_EQ(r1, expect);
+
+    int plans = ctx->compiler().stats().plansLowered;
+    int kernels = ctx->compiler().stats().kernelsCompiled;
+    std::uint64_t misses = ctx->memo().stats().misses;
+    std::uint64_t captured = s1->fusionStats().traceEpochsCaptured;
+    EXPECT_GT(plans, 0);
+    EXPECT_GT(captured, 0u);
+
+    // The second session's identical window stream: bitwise-identical
+    // results, zero plans lowered, zero memo misses, every epoch
+    // replayed from the cache the first session populated — nothing
+    // new captured.
+    auto s2 = ctx->createSession(realOpts());
+    auto r2 = runServingBody(*s2);
+    EXPECT_EQ(r2, expect);
+    EXPECT_EQ(ctx->compiler().stats().plansLowered, plans);
+    EXPECT_EQ(ctx->compiler().stats().kernelsCompiled, kernels);
+    EXPECT_EQ(ctx->memo().stats().misses, misses);
+    EXPECT_GT(s2->fusionStats().traceEpochsReplayed, 0u);
+    EXPECT_EQ(s2->fusionStats().traceEpochsCaptured, 0u);
+}
+
+TEST(Sessions, EachUniqueKernelLowersExactlyOnceAcrossEightSessions)
+{
+    auto ctx = SharedContext::create(machine());
+    auto first = ctx->createSession(realOpts());
+    auto expect = runServingBody(*first);
+    int plans = ctx->compiler().stats().plansLowered;
+    for (int s = 0; s < 7; s++) {
+        auto session = ctx->createSession(realOpts());
+        EXPECT_EQ(runServingBody(*session), expect);
+    }
+    // Steady state compiles each unique kernel exactly once
+    // process-wide, regardless of session count.
+    EXPECT_EQ(ctx->compiler().stats().plansLowered, plans);
+    EXPECT_EQ(ctx->compiler().stats().plansLowered,
+              ctx->compiler().stats().kernelsCompiled);
+    EXPECT_EQ(ctx->sessionsCreated(), 8u);
+}
+
+TEST(Sessions, StatsStayPerSessionWhileCacheCountersAreProcessWide)
+{
+    auto ctx = SharedContext::create(machine());
+    auto s1 = ctx->createSession(realOpts());
+    auto s2 = ctx->createSession(realOpts());
+    runServingBody(*s1);
+    std::uint64_t misses_after_s1 = ctx->memo().stats().misses;
+    runServingBody(*s2);
+
+    // Per-session: each session counted its own window activity, and
+    // the warm session's fusion outcome is identical to the cold one.
+    EXPECT_EQ(s1->fusionStats().tasksSubmitted,
+              s2->fusionStats().tasksSubmitted);
+    EXPECT_EQ(s1->fusionStats().flushes, s2->fusionStats().flushes);
+    EXPECT_EQ(s1->fusionStats().groupsLaunched,
+              s2->fusionStats().groupsLaunched);
+    EXPECT_EQ(s1->fusionStats().fusedGroups,
+              s2->fusionStats().fusedGroups);
+    EXPECT_EQ(s1->runtimeStats().simTime, s2->runtimeStats().simTime);
+
+    // Process-wide: both sessions read the *same* cache counters
+    // (the accessors resolve to the shared context), and the second
+    // session's run never missed.
+    EXPECT_EQ(&s1->memoStats(), &s2->memoStats());
+    EXPECT_EQ(s1->context(), s2->context());
+    EXPECT_EQ(ctx->memo().stats().misses, misses_after_s1);
+}
+
+TEST(Sessions, SharedCacheOptOutIsolatesBitForBit)
+{
+    auto ctx = SharedContext::create(machine());
+    auto warm = ctx->createSession(realOpts());
+    auto expect = runServingBody(*warm);
+    int plans = ctx->compiler().stats().plansLowered;
+    std::size_t epochs = ctx->traceCache().entries();
+
+    // Opted out: the session gets a private context — identical
+    // results, its compilation invisible to the shared counters.
+    DiffuseOptions o = realOpts();
+    o.sharedCache = 0;
+    auto iso = ctx->createSession(o);
+    EXPECT_NE(iso->context(), ctx);
+    EXPECT_EQ(runServingBody(*iso), expect);
+    EXPECT_EQ(ctx->compiler().stats().plansLowered, plans);
+    EXPECT_EQ(ctx->traceCache().entries(), epochs);
+    EXPECT_GT(iso->compilerStats().kernelsCompiled, 0);
+    EXPECT_EQ(iso->fusionStats().traceEpochsReplayed +
+                  iso->fusionStats().traceEpochsCaptured,
+              warm->fusionStats().traceEpochsReplayed +
+                  warm->fusionStats().traceEpochsCaptured);
+
+    // The environment kill switch does the same for sessions that
+    // leave the option at its default.
+    DiffuseOptions dflt = realOpts();
+    dflt.sharedCache = -1; // defer to DIFFUSE_SHARED_CACHE
+    setenv("DIFFUSE_SHARED_CACHE", "0", 1);
+    auto env_iso = ctx->createSession(dflt);
+    unsetenv("DIFFUSE_SHARED_CACHE");
+    EXPECT_NE(env_iso->context(), ctx);
+    EXPECT_EQ(runServingBody(*env_iso), expect);
+    EXPECT_EQ(ctx->compiler().stats().plansLowered, plans);
+}
+
+TEST(Sessions, TeardownMidFlightLeavesSharedCachesUsable)
+{
+    auto ctx = SharedContext::create(machine());
+    std::vector<std::vector<std::uint64_t>> expect;
+    {
+        auto warm = ctx->createSession(realOpts());
+        expect = runServingBody(*warm);
+    }
+    std::size_t epochs = ctx->traceCache().entries();
+
+    {
+        // A client that hangs up mid-stream: flushed windows, then
+        // submissions left unflushed in the window (and in-flight in
+        // the stream) when the session is destroyed.
+        auto dying = ctx->createSession(realOpts());
+        Context c(*dying);
+        NDArray a = c.random(48, 0xDEAD, -1.0, 1.0);
+        NDArray b = c.random(48, 0xBEEF, -1.0, 1.0);
+        NDArray t = c.add(a, b);
+        c.assign(a, t);
+        dying->flushWindow();
+        // Unflushed tail — never reaches the stream.
+        NDArray u = c.mul(a, b);
+        c.assign(b, u);
+    }
+
+    // The shared caches took no damage: a fresh session replays the
+    // warm epochs and compiles nothing (the dying session's own,
+    // different window legitimately added plans of its own — snapshot
+    // after its teardown).
+    int plans = ctx->compiler().stats().plansLowered;
+    auto after = ctx->createSession(realOpts());
+    EXPECT_EQ(runServingBody(*after), expect);
+    EXPECT_EQ(ctx->compiler().stats().plansLowered, plans);
+    EXPECT_GE(ctx->traceCache().entries(), epochs);
+    EXPECT_GT(after->fusionStats().traceEpochsReplayed, 0u);
+}
+
+TEST(Sessions, HundredSessionsShareOneLazilyStartedPool)
+{
+    int base = kir::WorkerPool::liveThreads();
+    auto ctx = SharedContext::create(machine());
+    std::vector<std::unique_ptr<DiffuseRuntime>> sessions;
+    for (int i = 0; i < 100; i++)
+        sessions.push_back(ctx->createSession(realOpts(4)));
+
+    // Every session multiplexes onto the context's one pool (100
+    // sessions + the context itself hold it) — and creating them
+    // spawned no threads at all: the pool starts lazily.
+    EXPECT_GE(ctx->pool().use_count(), 101);
+    EXPECT_EQ(ctx->pool()->workers(), 4);
+    EXPECT_EQ(ctx->pool()->threadsSpawned(), 0);
+    EXPECT_EQ(kir::WorkerPool::liveThreads(), base);
+
+    // Parallel work in several sessions starts at most one pool's
+    // worth of threads (workers - 1), not one pool per session.
+    for (int i = 0; i < 8; i++) {
+        Context c(*sessions[std::size_t(i)]);
+        NDArray a = c.random(4096, 0x9001 + std::uint64_t(i));
+        NDArray b = c.mulScalar(2.0, a);
+        (void)c.toHost(b);
+    }
+    EXPECT_LE(kir::WorkerPool::liveThreads() - base, 3);
+    EXPECT_LE(ctx->pool()->threadsSpawned(), 3);
+}
+
+TEST(Sessions, IsolatedRuntimesKeepLazyPrivatePools)
+{
+    int base = kir::WorkerPool::liveThreads();
+    // A directly-constructed runtime has a private pool — but still a
+    // lazy one: Simulated mode and workers=1 never spawn.
+    DiffuseRuntime sim(machine(), DiffuseOptions());
+    DiffuseRuntime one(machine(), realOpts(1));
+    Context c(one);
+    NDArray a = c.random(256, 0x1);
+    (void)c.toHost(c.addScalar(a, 1.0));
+    EXPECT_EQ(kir::WorkerPool::liveThreads(), base);
+}
+
+} // namespace
+} // namespace diffuse
