@@ -14,7 +14,15 @@
  *  2. shared vs isolated concurrent serving: T threads each running
  *     sessions of the same workload, with process-shared caches
  *     against the DIFFUSE_SHARED_CACHE=0 oracle (every session
- *     recompiling privately).
+ *     recompiling privately);
+ *  3. failure domains: the same warm body with the fault injector
+ *     disarmed (`fault:off` — comparing this label across commits
+ *     measures the fault-free cost of the error-tracking layer),
+ *     under ambient transparently-degrading faults
+ *     (`fault:transparent` — exchange retries + compile -> scalar
+ *     interpreter), and the recovery latency after a hard injected
+ *     kernel fault (`fault:recover` — resetAfterError() plus a clean
+ *     re-run of the whole body).
  *
  * Emits BENCH_serving_sessions.json via the harness.
  */
@@ -24,6 +32,7 @@
 #include "harness.h"
 
 #include "core/context.h"
+#include "runtime/fault.h"
 
 namespace {
 
@@ -155,6 +164,105 @@ main()
                 "compile once process-wide, isolated sessions "
                 "recompile per session\n",
                 threads, sessions_per_thread);
+
+    // ---- 3. Failure domains: overhead, degradation, recovery --------
+    {
+        auto ctx = SharedContext::create(machine);
+        // Warm the shared caches so all three series measure steady
+        // state, not compilation.
+        {
+            auto s = ctx->createSession(servingOpts(1));
+            runSessionBody(*s, reps, n);
+        }
+        const int frep = smoke ? 3 : 5;
+        const double elems = double(n) * reps;
+
+        // Injector disarmed (the DIFFUSE_FAULT_RATE=0 default): every
+        // per-task failure check, poison lookup and session-state
+        // latch still runs, so this label tracked across commits is
+        // the fault-free overhead of the error-tracking layer.
+        WallMetric off = measureWall("fault:off", frep, elems, 0.0, [&] {
+            auto s = ctx->createSession(servingOpts(1));
+            runSessionBody(*s, reps, n);
+        });
+
+        // Ambient transparent faults: exchange retries, compile ->
+        // scalar-interpreter fallbacks and trace -> analyzed-path
+        // recaptures are all absorbed by the degradation ladder —
+        // results identical, only slower. (Trace faults matter here:
+        // a warm session replays memoized traces, which bypasses the
+        // submit-time compile seam entirely until a trace fault
+        // forces it back onto the analyzed path.)
+        const unsigned transparent =
+            (1u << unsigned(rt::FaultKind::Exchange)) |
+            (1u << unsigned(rt::FaultKind::Compile)) |
+            (1u << unsigned(rt::FaultKind::Trace));
+        rt::FaultStats degraded_stats;
+        std::uint64_t degraded_traces = 0;
+        WallMetric degraded = measureWall(
+            "fault:transparent", frep, elems, 0.0, [&] {
+                auto s = ctx->createSession(servingOpts(1));
+                s->low().faults().configure(42, 1000, transparent);
+                runSessionBody(*s, reps, n);
+                degraded_stats = s->low().faultStats();
+                degraded_traces = s->fusionStats().traceAborts;
+            });
+
+        // Recovery latency: arm one hard kernel fault, let it surface
+        // as a structured error, then time resetAfterError() plus a
+        // clean re-run of the whole body — the cost a serving layer
+        // pays to bring a failed session back instead of tearing it
+        // down.
+        std::vector<double> recover_times;
+        for (int r = 0; r < frep; r++) {
+            auto s = ctx->createSession(servingOpts(1));
+            s->low().faults().armOneShot(rt::FaultKind::Kernel, 4);
+            bool faulted = false;
+            try {
+                runSessionBody(*s, reps, n);
+            } catch (const DiffuseError &) {
+                faulted = true;
+            }
+            if (!faulted || !s->failed()) {
+                std::fprintf(stderr, "serving_sessions: armed kernel "
+                                     "fault did not surface\n");
+                return 1;
+            }
+            auto t0 = std::chrono::steady_clock::now();
+            s->resetAfterError();
+            s->low().faults().configure(1, 0, ~0u); // disarm
+            runSessionBody(*s, reps, n);
+            auto t1 = std::chrono::steady_clock::now();
+            recover_times.push_back(
+                std::chrono::duration<double>(t1 - t0).count());
+        }
+        std::sort(recover_times.begin(), recover_times.end());
+        WallMetric recover;
+        recover.label = "fault:recover";
+        recover.reps = frep;
+        recover.medianSeconds = recover_times[recover_times.size() / 2];
+        recover.minSeconds = recover_times.front();
+        recover.elementsPerSecond = elems / recover.medianSeconds;
+
+        std::printf("\n");
+        bench::printWallHeader();
+        bench::printWallRow(off);
+        bench::printWallRow(degraded);
+        bench::printWallRow(recover);
+        std::printf("# ambient faults absorbed: %llu exchange retries, "
+                    "%llu scalar fallbacks, %llu trace recaptures "
+                    "(results bitwise-identical)\n",
+                    (unsigned long long)degraded_stats.exchangeRetries,
+                    (unsigned long long)degraded_stats.scalarFallbacks,
+                    (unsigned long long)degraded_traces);
+        std::printf("# degraded/clean slowdown: %.2fx; recovery vs "
+                    "clean body: %.2fx\n",
+                    degraded.medianSeconds / off.medianSeconds,
+                    recover.medianSeconds / off.medianSeconds);
+        metrics.push_back(off);
+        metrics.push_back(degraded);
+        metrics.push_back(recover);
+    }
 
     bench::writeBenchJson("serving_sessions", metrics);
     return 0;

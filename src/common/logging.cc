@@ -1,8 +1,13 @@
 #include "logging.h"
 
+#include "error.h"
 #include "types.h"
 
+#include <atomic>
+#include <cstring>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <vector>
 
 namespace diffuse {
@@ -42,8 +47,25 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     std::string msg = vformat(fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    const char *t = std::getenv("DIFFUSE_THROW_ON_FATAL");
+    if (t && std::strcmp(t, "1") == 0)
+        throw FatalError(msg);
     std::exit(1);
 }
+
+namespace {
+
+std::mutex warnMutex_;
+// Keyed by format-string pointer: call sites use string literals, so
+// the pointer identifies the site; a hot loop hammering one site gets
+// thinned without silencing other sites.
+std::map<const void *, std::uint64_t> warnCounts_;
+std::atomic<std::uint64_t> warnCalls_{0};
+std::atomic<std::uint64_t> warnEmits_{0};
+
+constexpr std::uint64_t kWarnFullEmits = 8;
+
+} // namespace
 
 void
 warnImpl(const char *fmt, ...)
@@ -52,7 +74,30 @@ warnImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    warnCalls_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(warnMutex_);
+    std::uint64_t count = ++warnCounts_[static_cast<const void *>(fmt)];
+    if (count > kWarnFullEmits && (count & (count - 1)) != 0)
+        return; // thinned: only power-of-two occurrences past the first 8
+    warnEmits_.fetch_add(1, std::memory_order_relaxed);
+    if (count > kWarnFullEmits) {
+        std::fprintf(stderr, "warn: %s (seen %llu times, most suppressed)\n",
+                     msg.c_str(), static_cast<unsigned long long>(count));
+    } else {
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    }
+}
+
+std::uint64_t
+warnCallCount()
+{
+    return warnCalls_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+warnEmitCount()
+{
+    return warnEmits_.load(std::memory_order_relaxed);
 }
 
 std::string

@@ -11,6 +11,7 @@
 #define DIFFUSE_COMMON_LOGGING_H
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,10 +21,26 @@ namespace diffuse {
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));
 
+/**
+ * Reports the error and exits, or — when DIFFUSE_THROW_ON_FATAL=1 —
+ * throws diffuse::FatalError so tests can exercise fatal paths
+ * without killing the process. Never returns either way.
+ */
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));
 
+/**
+ * Thread-safe, rate-limited warning. Concurrent callers never
+ * interleave within one line; per format string the first 8
+ * occurrences are emitted, then only power-of-two counts (with a
+ * suppression tally), so a hot loop cannot flood stderr.
+ */
 void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Total diffuse_warn calls this process (for tests). */
+std::uint64_t warnCallCount();
+/** Warnings actually written to stderr (post rate limit, for tests). */
+std::uint64_t warnEmitCount();
 
 /** Format into a std::string, printf-style. */
 std::string strprintf(const char *fmt, ...)

@@ -1,5 +1,6 @@
 #include "diffuse.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 
@@ -17,6 +18,9 @@ secondsSince(Clock::time_point t0)
 {
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+/** Process-wide session numbering (warning/error attribution). */
+std::atomic<std::uint64_t> g_nextSessionId{1};
 
 } // namespace
 
@@ -39,6 +43,8 @@ DiffuseRuntime::DiffuseRuntime(std::shared_ptr<SharedContext> shared,
 {
     diffuse_assert(windowSize_ >= 1, "window must hold a task");
     fusionStats_.windowSize = windowSize_;
+    low_.setSessionId(
+        g_nextSessionId.fetch_add(1, std::memory_order_relaxed));
     // The planning fingerprint scopes every shared-cache key to this
     // session's configuration: any knob (beyond the event stream
     // itself) that changes what the planner emits, what the runtime
@@ -133,9 +139,17 @@ DiffuseRuntime::storeMeta(StoreId id) const
 void
 DiffuseRuntime::submit(IndexTask task)
 {
-    diffuse_assert(!task.launchDomain.empty(),
-                   "task %s has an empty launch domain",
-                   task.name.c_str());
+    if (failed())
+        throw DiffuseError(makeError(
+            ErrorCode::SessionFailed,
+            "submit into failed session (resetAfterError() to "
+            "recover); root cause: " +
+                error().describe()));
+    if (task.launchDomain.empty())
+        throw DiffuseError(makeError(
+            ErrorCode::InvalidArgument,
+            strprintf("task %s has an empty launch domain",
+                      task.name.c_str())));
     Clock::time_point t0 = Clock::now();
     for (const StoreArg &arg : task.args)
         stores_.retainWindow(arg.store);
@@ -166,6 +180,11 @@ DiffuseRuntime::flushWindow()
                 fusionStats_.traceEpochsReplayed++;
                 low_.fence();
                 traceBeginEpoch();
+                // The fence never throws; failures it drained into
+                // the session state surface here, at the paper's
+                // synchronization point.
+                if (low_.failed())
+                    throw DiffuseError(low_.error());
                 return;
             }
             // A candidate engaged but the epoch ended early or failed
@@ -188,6 +207,10 @@ DiffuseRuntime::flushWindow()
     // synchronization point, so every submitted group retires here.
     low_.fence();
     traceBeginEpoch();
+    // Failures recorded during the drain surface now, as the root
+    // cause; the session stays failed until resetAfterError().
+    if (low_.failed())
+        throw DiffuseError(low_.error());
 }
 
 double
@@ -215,9 +238,45 @@ DiffuseRuntime::writeStoreF64(StoreId id, const std::vector<double> &v)
     flushWindow();
     const StoreMeta &meta = stores_.get(id);
     std::size_t n = std::size_t(meta.shape.volume());
-    diffuse_assert(v.size() == n, "writeStoreF64 size mismatch");
+    if (v.size() != n)
+        throw DiffuseError(makeError(
+            ErrorCode::InvalidArgument,
+            strprintf("writeStoreF64 size mismatch: %zu values for %zu "
+                      "elements",
+                      v.size(), n),
+            std::string(), id));
+    // A full overwrite redefines the contents: lift any poison before
+    // the accessor (which would otherwise surface the stale failure).
+    low_.clearPoison(id);
     std::memcpy(low_.dataF64(id), v.data(), n * sizeof(double));
     low_.markInitialized(id);
+}
+
+void
+DiffuseRuntime::resetAfterError()
+{
+    // Abandon buffered work, releasing the references it holds.
+    // Deferred (speculating) events are unwound likewise: submits are
+    // dropped, retains/releases applied so app refcounts stay exact.
+    for (TraceEvent &ev : tracePending_) {
+        switch (ev.kind) {
+          case TraceEventKind::Submit:
+            releaseTaskRefs(ev.task);
+            break;
+          case TraceEventKind::Retain:
+            stores_.retainApp(ev.store);
+            break;
+          case TraceEventKind::Release:
+            applyRelease(ev.store);
+            break;
+        }
+    }
+    tracePending_.clear();
+    for (IndexTask &t : window_)
+        releaseTaskRefs(t);
+    window_.clear();
+    low_.resetAfterError();
+    traceBeginEpoch();
 }
 
 bool
@@ -673,6 +732,14 @@ DiffuseRuntime::traceTryReplay()
     if (match == nullptr)
         return false;
     if (!traceValidateProbes(*match)) {
+        fusionStats_.traceValidationFailures++;
+        return false;
+    }
+    // Injected trace faults model a corrupted/invalidated cached epoch:
+    // degrade to the analyzed path (bitwise-identical by construction);
+    // the caller recaptures, so steady state recovers on its own.
+    if (low_.faults().enabled() &&
+        low_.faults().shouldFault(rt::FaultKind::Trace)) {
         fusionStats_.traceValidationFailures++;
         return false;
     }

@@ -184,10 +184,13 @@ class DiffuseRuntime
 
     // ---- Task submission --------------------------------------------
 
-    /** Submit an index task into the fusion window. */
+    /** Submit an index task into the fusion window. Throws
+     * DiffuseError(SessionFailed) while the session is failed. */
     void submit(IndexTask task);
 
-    /** Drain the window (paper's flush_window). */
+    /** Drain the window (paper's flush_window). Throws DiffuseError
+     * with the root cause when a task of the epoch failed — the
+     * session then stays failed until resetAfterError(). */
     void flushWindow();
 
     /** Flush, then read back a scalar store's value. */
@@ -196,8 +199,27 @@ class DiffuseRuntime
     /** Flush, then copy out an f64 store's contents (tests). */
     std::vector<double> readStoreF64(StoreId id);
 
-    /** Host-side initialization of an f64 store (excluded from sim). */
+    /** Host-side initialization of an f64 store (excluded from sim).
+     * Overwrites every element, so it also heals a poisoned store. */
     void writeStoreF64(StoreId id, const std::vector<double> &values);
+
+    // ---- Failure domain (see docs/architecture.md) -------------------
+
+    /** True while a task failure has this session in the failed
+     * state. Sibling sessions of a shared context are unaffected. */
+    bool failed() const { return low_.failed(); }
+
+    /** Root cause of the failed state (None when healthy). */
+    const Error &error() const { return low_.error(); }
+
+    /**
+     * Recover from the failed state: abandon buffered window tasks
+     * (releasing their references), drain the stream, quarantine
+     * poisoned stores, and restart the trace epoch. The session is
+     * usable afterwards; quarantined stores read as freshly
+     * (re)initialized.
+     */
+    void resetAfterError();
 
     // ---- Components --------------------------------------------------
 

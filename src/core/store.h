@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/error.h"
 #include "common/geometry.h"
 #include "common/logging.h"
 #include "common/types.h"
@@ -69,13 +70,23 @@ class StoreTable
 
     void retainApp(StoreId id) { get(id).appRefs++; }
 
-    /** @return true when no references of any kind remain. */
+    /**
+     * @return true when no references of any kind remain.
+     * @throws DiffuseError (StoreError) on over-release — an
+     *   application-side bug (double destroy), recoverable by the
+     *   caller rather than fatal to the process.
+     */
     bool
     releaseApp(StoreId id)
     {
         StoreMeta &m = get(id);
-        diffuse_assert(m.appRefs > 0, "over-release of store %llu",
-                       (unsigned long long)id);
+        if (m.appRefs <= 0)
+            throw DiffuseError(makeError(
+                ErrorCode::StoreError,
+                strprintf("over-release of store %llu (double "
+                          "destroy?)",
+                          (unsigned long long)id),
+                std::string(), id));
         m.appRefs--;
         return m.appRefs == 0 && m.windowRefs == 0;
     }

@@ -1055,7 +1055,22 @@ WorkerPool::runShare(int slot)
             break;
         coord_t begin = c * chunk_;
         coord_t end = std::min(numItems_, begin + chunk_);
-        fn(slot, begin, end);
+        try {
+            fn(slot, begin, end);
+        } catch (...) {
+            // A kernel share may throw (injected faults, real bugs).
+            // Letting it escape workerLoop() would std::terminate the
+            // process; record the first exception and drain the job so
+            // parallelForChunked can rethrow it on the submitting
+            // thread.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!jobError_)
+                    jobError_ = std::current_exception();
+            }
+            nextChunk_.store(numChunks_, std::memory_order_relaxed);
+            break;
+        }
     }
 }
 
@@ -1147,9 +1162,16 @@ WorkerPool::parallelForChunked(
     }
     start_.notify_all();
     runShare(0);
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return active_ == 0; });
-    fn_ = nullptr;
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return active_ == 0; });
+        fn_ = nullptr;
+        err = jobError_;
+        jobError_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 void

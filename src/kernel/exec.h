@@ -37,6 +37,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <span>
@@ -366,6 +367,10 @@ class WorkerPool
      * a time (callers block; no interleaved job state). */
     std::mutex jobMutex_;
     const std::function<void(int, coord_t, coord_t)> *fn_ = nullptr;
+    /** First exception thrown by any share of the current job; set
+     * under mutex_, rethrown on the submitting thread once the job
+     * drains (a throwing kernel must not std::terminate a helper). */
+    std::exception_ptr jobError_;
     std::atomic<coord_t> nextChunk_{0};
     coord_t numItems_ = 0;
     coord_t chunk_ = 1;

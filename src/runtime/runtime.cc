@@ -1,7 +1,9 @@
 #include "runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/env.h"
 #include "common/logging.h"
@@ -13,6 +15,12 @@ namespace {
 
 /** Reserved layout key: valid everywhere. */
 constexpr std::uint64_t REPLICATED_LAYOUT = 1;
+
+/** Exchange faults are transient by default: retried with a short
+ * exponential backoff up to this bound before the Copy task fails for
+ * real. Under probabilistic injection the chance of a genuine failure
+ * is rate^5 per copy — tests force one with an armed burst instead. */
+constexpr int kMaxExchangeAttempts = 5;
 
 /** rowMajorStrides with the store-layer failure message. */
 void
@@ -66,6 +74,12 @@ LowRuntime::LowRuntime(const MachineConfig &machine, ExecutionMode mode,
         [this](const LaunchedTask &task) { executeRetired(task); });
     stream_.setRetireFn(
         [this](const LaunchedTask &task) { finishRetired(task); });
+    stream_.setFailFn([this](const LaunchedTask &task, const Error &e,
+                             bool cancelled) {
+        onTaskFailed(task, e, cancelled);
+    });
+    memBudgetBytes_ =
+        std::size_t(envInt("DIFFUSE_MEM_BUDGET", 0, 1, 1 << 20)) << 20;
 }
 
 StoreId
@@ -100,10 +114,16 @@ LowRuntime::recycleAllocation(StoreRec &store)
 {
     if (store.data.empty())
         return;
-    if (pooledBytes_ + store.data.size() > kMaxPooledBytes)
-        return; // pool full: let the allocation free normally
-    pooledBytes_ += store.data.size();
-    bufferPool_[store.data.size()].push_back(std::move(store.data));
+    std::size_t bytes = store.data.size();
+    liveBytes_ -= bytes;
+    if (pooledBytes_ + bytes <= kMaxPooledBytes) {
+        pooledBytes_ += bytes;
+        bufferPool_[bytes].push_back(std::move(store.data));
+    }
+    // Pool full: free eagerly. Either way the store ends up with no
+    // allocation (a moved-from RawBuffer keeps its stale size, so a
+    // reset is required for callers that keep the StoreRec alive).
+    store.data = RawBuffer();
 }
 
 void
@@ -113,14 +133,37 @@ LowRuntime::ensureAllocated(StoreRec &store, bool skip_init)
         return;
     std::size_t n = std::size_t(store.shape.volume());
     std::size_t bytes = n * dtypeSize(store.dtype);
+    if (faults_.enabled() && faults_.shouldFault(FaultKind::Alloc))
+        throw DiffuseError(makeError(ErrorCode::AllocFailed,
+                                     "injected allocation fault"));
     auto pooled = bufferPool_.find(bytes);
     if (pooled != bufferPool_.end() && !pooled->second.empty()) {
+        // Reuse transfers pooled -> live: total memory is unchanged,
+        // so the budget needs no check.
         store.data = std::move(pooled->second.back());
         pooled->second.pop_back();
         pooledBytes_ -= bytes;
     } else {
+        if (memBudgetBytes_ != 0 &&
+            liveBytes_ + pooledBytes_ + bytes > memBudgetBytes_) {
+            // Memory pressure: drop the recycling pool (warm-page
+            // reuse is a luxury) before giving up; only if live
+            // allocations alone still exceed the budget does the
+            // allocation fail — structurally, not as an OOM abort.
+            for (const auto &[sz, bufs] : bufferPool_)
+                faultStats_.budgetEvictions += bufs.size();
+            bufferPool_.clear();
+            pooledBytes_ = 0;
+            if (liveBytes_ + bytes > memBudgetBytes_)
+                throw DiffuseError(makeError(
+                    ErrorCode::MemBudgetExceeded,
+                    strprintf("allocation of %zu bytes would exceed "
+                              "DIFFUSE_MEM_BUDGET (%zu live of %zu)",
+                              bytes, liveBytes_, memBudgetBytes_)));
+        }
         store.data.alloc(bytes);
     }
+    liveBytes_ += bytes;
     stats_.storesMaterialized++;
     stats_.bytesMaterialized += double(store.data.size());
     if (skip_init)
@@ -148,8 +191,15 @@ void
 LowRuntime::destroyStore(StoreId id)
 {
     auto it = stores_.find(id);
-    diffuse_assert(it != stores_.end(), "destroy of unknown store %llu",
-                   (unsigned long long)id);
+    if (it == stores_.end())
+        // User misuse (double destroy, stale id): recoverable — the
+        // runtime's own state is untouched, so report it structurally
+        // instead of aborting every session in the process.
+        throw DiffuseError(makeError(
+            ErrorCode::StoreError,
+            strprintf("destroy of unknown store %llu (double destroy?)",
+                      (unsigned long long)id),
+            std::string(), id));
     if (it->second.pendingUses > 0) {
         // In-flight tasks still reference the allocation: defer the
         // release until the last of them retires.
@@ -161,6 +211,7 @@ LowRuntime::destroyStore(StoreId id)
     }
     recycleAllocation(it->second);
     stores_.erase(it);
+    poisoned_.erase(id);
     shards_.onStoreDestroyed(id);
     stream_.forgetStore(id);
 }
@@ -208,12 +259,20 @@ LowRuntime::dataF64(StoreId id)
     if (hostWriteObserver_)
         hostWriteObserver_(id);
     stream_.waitStore(id);
+    throwIfPoisoned(id);
     StoreRec &r = rec(id);
-    diffuse_assert(r.dtype == DType::F64, "store %llu is not f64",
-                   (unsigned long long)id);
+    if (r.dtype != DType::F64)
+        throw DiffuseError(makeError(
+            ErrorCode::InvalidArgument,
+            strprintf("store %llu is not f64", (unsigned long long)id),
+            std::string(), id));
     ensureAllocated(r);
-    diffuse_assert(!r.data.empty(), "store %llu has no allocation "
-                   "(Simulated mode?)", (unsigned long long)id);
+    if (r.data.empty())
+        throw DiffuseError(makeError(
+            ErrorCode::StoreError,
+            strprintf("store %llu has no allocation (Simulated mode?)",
+                      (unsigned long long)id),
+            std::string(), id));
     // Host readback/write-through: pull every shard-resident
     // rectangle into the canonical allocation, then treat the mutable
     // pointer as a host write (the canonical copy becomes the owner).
@@ -228,9 +287,13 @@ LowRuntime::dataI32(StoreId id)
     if (hostWriteObserver_)
         hostWriteObserver_(id);
     stream_.waitStore(id);
+    throwIfPoisoned(id);
     StoreRec &r = rec(id);
-    diffuse_assert(r.dtype == DType::I32, "store %llu is not i32",
-                   (unsigned long long)id);
+    if (r.dtype != DType::I32)
+        throw DiffuseError(makeError(
+            ErrorCode::InvalidArgument,
+            strprintf("store %llu is not i32", (unsigned long long)id),
+            std::string(), id));
     ensureAllocated(r);
     shards_.gatherToCanonical(id, r.data.data());
     shards_.onHostWrite(id);
@@ -243,9 +306,13 @@ LowRuntime::dataI64(StoreId id)
     if (hostWriteObserver_)
         hostWriteObserver_(id);
     stream_.waitStore(id);
+    throwIfPoisoned(id);
     StoreRec &r = rec(id);
-    diffuse_assert(r.dtype == DType::I64, "store %llu is not i64",
-                   (unsigned long long)id);
+    if (r.dtype != DType::I64)
+        throw DiffuseError(makeError(
+            ErrorCode::InvalidArgument,
+            strprintf("store %llu is not i64", (unsigned long long)id),
+            std::string(), id));
     ensureAllocated(r);
     shards_.gatherToCanonical(id, r.data.data());
     shards_.onHostWrite(id);
@@ -258,6 +325,9 @@ LowRuntime::markInitialized(StoreId id)
     if (hostWriteObserver_)
         hostWriteObserver_(id);
     stream_.waitStore(id);
+    // A host-side (re)initialization redefines every element: the
+    // store is healthy again even if an earlier failure poisoned it.
+    clearPoison(id);
     StoreRec &r = rec(id);
     r.replicatedValid = true;
     r.lastWriteLayout = 0;
@@ -531,6 +601,20 @@ LowRuntime::submit(LaunchedTask task)
     task.parallelSafe = mode_ == ExecutionMode::Real &&
                         workers_ > 1 && pointsIndependent(task);
 
+    // Injected plan/lowering fault: degrade this task to the scalar
+    // interpreter. The scalar path is the bitwise reference for the
+    // vector plans, so the fallback is transparent to results — only
+    // throughput suffers.
+    if (mode_ == ExecutionMode::Real && faults_.enabled() &&
+        task.kernel->plan != nullptr &&
+        faults_.shouldFault(FaultKind::Compile)) {
+        task.forceScalar = true;
+        faultStats_.scalarFallbacks++;
+        diffuse_warn("session %llu: compile fault on task %s; degrading "
+                     "to scalar interpreter",
+                     (unsigned long long)sessionId_, task.name.c_str());
+    }
+
     for (const LowArg &arg : task.args)
         rec(arg.store).pendingUses++;
 
@@ -795,6 +879,8 @@ void
 LowRuntime::wait(EventId id)
 {
     stream_.wait(id);
+    if (const Error *e = stream_.eventError(id))
+        throw DiffuseError(*e);
 }
 
 void
@@ -823,11 +909,44 @@ LowRuntime::executeRetired(const LaunchedTask &task)
             ensureAllocated(r);
             canonical = r.data.data();
         }
+        // Exchange faults are transient (a dropped message, a busy
+        // link): retry with a short exponential backoff. Only a
+        // persistent fault — kMaxExchangeAttempts consecutive fires —
+        // fails the Copy task for real.
+        for (int attempt = 1;; attempt++) {
+            if (faults_.enabled() &&
+                faults_.shouldFault(FaultKind::Exchange)) {
+                if (attempt >= kMaxExchangeAttempts)
+                    throw DiffuseError(makeError(
+                        ErrorCode::ExchangeFault,
+                        strprintf("exchange failed after %d attempts",
+                                  attempt),
+                        task.name, task.copy.store));
+                faultStats_.exchangeRetries++;
+                diffuse_warn("session %llu: transient exchange fault on "
+                             "store %llu (attempt %d); retrying",
+                             (unsigned long long)sessionId_,
+                             (unsigned long long)task.copy.store,
+                             attempt);
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(1 << attempt));
+                continue;
+            }
+            break;
+        }
         shards_.executeCopy(task.copy, canonical);
         return;
     }
     const kir::KernelFunction &fn = task.kernel->fn;
-    const bool scalar_oracle = kir::Executor::scalarForced();
+    const bool scalar_oracle =
+        kir::Executor::scalarForced() || task.forceScalar;
+    // Sample the kernel-fault decision here, on the retiring thread:
+    // the per-kind opportunity count (and hence the firing pattern of
+    // a given seed) is identical for every worker count. The throw
+    // itself happens inside the pool job below so the helper-thread
+    // exception capture is exercised for real.
+    const bool inject_kernel =
+        faults_.enabled() && faults_.shouldFault(FaultKind::Kernel);
 
     // Materialize allocations serially: StoreRec mutation and stats
     // accounting must not race with the sharded point loop. A store
@@ -854,6 +973,20 @@ LowRuntime::executeRetired(const LaunchedTask &task)
     }
 
     int np = task.numPoints;
+    if (inject_kernel) {
+        // Fault from inside a pool job: with workers > 1 the
+        // exception crosses a helper thread and must be captured and
+        // rethrown on this thread (WorkerPool::jobError_), never
+        // std::terminate. Exactly one point throws, so the resulting
+        // error is deterministic regardless of chunk interleaving.
+        pool_->parallelFor(np, workers_, [&](int, coord_t p) {
+            if (p == coord_t(np - 1))
+                throw DiffuseError(makeError(ErrorCode::KernelFault,
+                                             "injected kernel fault",
+                                             task.name));
+        });
+        return; // unreachable: the faulting point always throws
+    }
     if (!task.parallelSafe || workers_ == 1 || np <= 1) {
         // Sequential reference path: point tasks in point order, each
         // on the vector executor with the kernel's cached plan (or on
@@ -1045,6 +1178,7 @@ LowRuntime::finishRetired(const LaunchedTask &task)
             zombies_--;
             recycleAllocation(r);
             stores_.erase(it);
+            poisoned_.erase(sid);
             shards_.onStoreDestroyed(sid);
             stream_.forgetStore(sid);
         }
@@ -1055,15 +1189,81 @@ double
 LowRuntime::readScalarValue(StoreId id)
 {
     stream_.waitStore(id);
+    throwIfPoisoned(id);
     StoreRec &r = rec(id);
     if (mode_ != ExecutionMode::Real)
         return 0.0;
-    diffuse_assert(r.dtype == DType::F64, "scalar read of non-f64");
+    if (r.dtype != DType::F64)
+        throw DiffuseError(makeError(ErrorCode::InvalidArgument,
+                                     "scalar read of non-f64 store",
+                                     std::string(), id));
     ensureAllocated(r);
     // Scalar stores are written replicated (canonical) in practice,
     // but a sharded write is legal: gather before reading.
     shards_.gatherToCanonical(id, r.data.data());
     return *reinterpret_cast<const double *>(r.data.data());
+}
+
+void
+LowRuntime::throwIfPoisoned(StoreId id) const
+{
+    auto it = poisoned_.find(id);
+    if (it == poisoned_.end())
+        return;
+    const Error &root = it->second;
+    throw DiffuseError(makeError(
+        ErrorCode::StorePoisoned,
+        "read of poisoned store: " + root.describe(), root.originTask,
+        id, root.originEvent));
+}
+
+void
+LowRuntime::onTaskFailed(const LaunchedTask &task, const Error &e,
+                         bool cancelled)
+{
+    // The failed (or cancelled) task's mutable stores hold undefined
+    // contents: the kernel may have partially run, or never ran at
+    // all. Poison them — host reads surface the root cause instead of
+    // garbage. The first poisoning error per store wins (root cause).
+    for (const LowArg &arg : task.args) {
+        if (!privWrites(arg.priv) && !privReduces(arg.priv))
+            continue;
+        if (poisoned_.emplace(arg.store, e).second)
+            faultStats_.storesPoisoned++;
+    }
+    if (sessionError_.ok())
+        sessionError_ = e;
+    if (!cancelled)
+        diffuse_warn("session %llu: task failed: %s",
+                     (unsigned long long)sessionId_,
+                     e.describe().c_str());
+}
+
+void
+LowRuntime::resetAfterError()
+{
+    // Drain everything still in flight first: cancellations cascade
+    // through the fail fn (recording, not throwing), extending the
+    // poisoned set to its final extent.
+    stream_.fence();
+    stream_.clearFailures();
+    foldScheduleClocks();
+    for (const auto &[id, err] : poisoned_) {
+        auto it = stores_.find(id);
+        if (it == stores_.end())
+            continue; // destroyed while poisoned
+        StoreRec &r = it->second;
+        // Quarantine: drop the undefined allocation and reset the
+        // coherence record. The next use re-materializes the store
+        // from its `init` value — defined, if not meaningful, data.
+        recycleAllocation(r);
+        r.replicatedValid = true;
+        r.lastWriteLayout = 0;
+        r.lastWritePieces.clear();
+        shards_.onHostWrite(id);
+    }
+    poisoned_.clear();
+    sessionError_ = Error();
 }
 
 } // namespace rt

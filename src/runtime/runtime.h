@@ -42,10 +42,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.h"
 #include "common/geometry.h"
 #include "common/types.h"
 #include "kernel/compiler.h"
 #include "kernel/exec.h"
+#include "runtime/fault.h"
 #include "runtime/machine.h"
 #include "runtime/shard.h"
 #include "runtime/task_stream.h"
@@ -93,6 +95,24 @@ struct RuntimeStats
     std::uint64_t copyTasks = 0;
 
     void reset() { *this = RuntimeStats(); }
+};
+
+/**
+ * Counters of the failure machinery. Deliberately separate from
+ * RuntimeStats: these are diagnostics of fault handling, not of the
+ * simulated execution, so parity invariants over RuntimeStats (trace
+ * on/off, replay vs. analyzed) hold even under ambient injection.
+ */
+struct FaultStats
+{
+    /** Transient exchange faults absorbed by the retry loop. */
+    std::uint64_t exchangeRetries = 0;
+    /** Tasks degraded to the scalar interpreter (compile faults). */
+    std::uint64_t scalarFallbacks = 0;
+    /** Stores poisoned by failed or cancelled tasks. */
+    std::uint64_t storesPoisoned = 0;
+    /** Recycled buffers dropped under DIFFUSE_MEM_BUDGET pressure. */
+    std::uint64_t budgetEvictions = 0;
 };
 
 /**
@@ -228,10 +248,12 @@ class LowRuntime
      */
     EventId submit(LaunchedTask task);
 
-    /** Block until `id` (and its dependencies) have retired. */
+    /** Block until `id` (and its dependencies) have retired. Throws
+     * DiffuseError when the event failed or was cancelled. */
     void wait(EventId id);
 
-    /** Retire every in-flight task. */
+    /** Retire every in-flight task. Never throws — failures are
+     * recorded (check failed()/error()); safe from destructors. */
     void fence();
 
     /** True when `id` has retired. */
@@ -242,9 +264,46 @@ class LowRuntime
 
     /**
      * Host-side read of a scalar store's value (Real mode). Fences
-     * the store implicitly.
+     * the store implicitly. Throws DiffuseError when the store was
+     * poisoned by an upstream failure.
      */
     double readScalarValue(StoreId id);
+
+    // ---- Failure domain (see docs/architecture.md) -------------------
+
+    /** True once any task of this runtime failed or was cancelled. */
+    bool failed() const { return !sessionError_.ok(); }
+
+    /** Root-cause error of the failed state (None when healthy). */
+    const Error &error() const { return sessionError_; }
+
+    /**
+     * Clear the failed state: drain the stream (recording, not
+     * throwing, any further cascade), forget event failures, and
+     * quarantine poisoned stores — their allocations are dropped and
+     * their coherence reset, so the next use reinitializes them from
+     * `init` instead of exposing partial results.
+     */
+    void resetAfterError();
+
+    /** True when `id`'s contents are undefined (upstream failure). */
+    bool storePoisoned(StoreId id) const
+    {
+        return poisoned_.count(id) != 0;
+    }
+
+    /** Un-poison `id`: the caller is about to overwrite every element
+     * from the host, which redefines the contents. */
+    void clearPoison(StoreId id) { poisoned_.erase(id); }
+
+    /** The deterministic fault injector (tests arm shots here). */
+    FaultInjector &faults() { return faults_; }
+
+    const FaultStats &faultStats() const { return faultStats_; }
+
+    /** Session id used to attribute warnings/errors (0 = unset). */
+    void setSessionId(std::uint64_t id) { sessionId_ = id; }
+    std::uint64_t sessionId() const { return sessionId_; }
 
     const MachineConfig &machine() const { return machine_; }
     ExecutionMode mode() const { return mode_; }
@@ -413,8 +472,18 @@ class LowRuntime
     /** Drop per-task runtime state once a task has retired. */
     void finishRetired(const LaunchedTask &task);
 
-    /** Return a destroyed store's allocation to the recycling pool. */
+    /** Return a destroyed store's allocation to the recycling pool.
+     * Always leaves `store.data` empty and updates the live-byte
+     * accounting (buffers the pool declines are freed eagerly). */
     void recycleAllocation(StoreRec &store);
+
+    /** Stream fail fn: poison the failed task's outputs, record the
+     * session's root-cause error. */
+    void onTaskFailed(const LaunchedTask &task, const Error &e,
+                      bool cancelled);
+
+    /** Throw StorePoisoned if `id`'s contents are undefined. */
+    void throwIfPoisoned(StoreId id) const;
 
     MachineConfig machine_;
     ExecutionMode mode_;
@@ -430,6 +499,13 @@ class LowRuntime
     std::unordered_map<std::size_t, std::vector<RawBuffer>> bufferPool_;
     std::size_t pooledBytes_ = 0;
     static constexpr std::size_t kMaxPooledBytes = 256u << 20;
+    /** Bytes currently held by store allocations (canonical buffers;
+     * shard buffers are the ShardManager's). */
+    std::size_t liveBytes_ = 0;
+    /** DIFFUSE_MEM_BUDGET in bytes; 0 = unlimited. Fresh allocations
+     * that would exceed it first evict the recycling pool, then fail
+     * with a structured MemBudgetExceeded instead of OOM-aborting. */
+    std::size_t memBudgetBytes_ = 0;
     /** Destroyed-but-in-flight stores still held in stores_. */
     std::size_t zombies_ = 0;
     std::vector<ImageData> images_;
@@ -463,6 +539,16 @@ class LowRuntime
     RuntimeStats captureStatsMark_;
     ShardStats captureShardMark_;
     std::function<void(StoreId)> hostWriteObserver_;
+
+    /** Failure-domain state. */
+    FaultInjector faults_;
+    FaultStats faultStats_;
+    /** Stores whose contents are undefined, with the root cause.
+     * Bounded: cleared by resetAfterError() / store destruction. */
+    std::unordered_map<StoreId, Error> poisoned_;
+    /** First root-cause error since the last resetAfterError(). */
+    Error sessionError_;
+    std::uint64_t sessionId_ = 0;
 };
 
 } // namespace rt

@@ -254,10 +254,68 @@ TaskStream::retireOne(EventId id)
         stats_.retiredOutOfOrder++;
     // Move the task out so callbacks may submit follow-on work.
     LaunchedTask task = std::move(it->second.task);
+    std::vector<EventId> task_deps = std::move(it->second.deps);
     pending_.erase(it);
     stats_.retired++;
-    if (executeFn_)
-        executeFn_(task);
+
+    // Failure propagates along the hazard edges: if any dependency
+    // failed, this task is cancelled — its kernel never runs, and the
+    // runtime poisons its outputs through the fail fn. The retire fn
+    // still runs either way (reference release must not leak).
+    const Error *dep_err = nullptr;
+    for (EventId d : task_deps) {
+        auto f = failed_.find(d);
+        if (f != failed_.end()) {
+            dep_err = &f->second;
+            break;
+        }
+    }
+    if (dep_err) {
+        Error e;
+        e.code = ErrorCode::DependencyFailed;
+        // Cancellations deeper in the graph keep pointing at the root
+        // cause, not at intermediate cancelled tasks.
+        e.message = dep_err->code == ErrorCode::DependencyFailed
+                        ? dep_err->message
+                        : "cancelled by upstream failure: " +
+                              dep_err->describe();
+        e.originTask = dep_err->originTask;
+        e.originStore = dep_err->originStore;
+        e.originEvent = dep_err->originEvent;
+        if (failFn_)
+            failFn_(task, e, /*cancelled=*/true);
+        failed_.emplace(id, std::move(e));
+        stats_.tasksCancelled++;
+        if (retireFn_)
+            retireFn_(task);
+        return;
+    }
+
+    if (executeFn_) {
+        try {
+            executeFn_(task);
+        } catch (const DiffuseError &ex) {
+            Error e = ex.error();
+            if (e.originTask.empty())
+                e.originTask = task.name;
+            if (e.originEvent == 0)
+                e.originEvent = id;
+            if (failFn_)
+                failFn_(task, e, /*cancelled=*/false);
+            failed_.emplace(id, std::move(e));
+            stats_.tasksFailed++;
+        } catch (const std::exception &ex) {
+            // A kernel threw something unstructured (WorkerPool
+            // rethrows helper-thread exceptions here): classify as a
+            // kernel fault rather than crashing the process.
+            Error e = makeError(ErrorCode::KernelFault, ex.what(),
+                                task.name, INVALID_STORE, id);
+            if (failFn_)
+                failFn_(task, e, /*cancelled=*/false);
+            failed_.emplace(id, std::move(e));
+            stats_.tasksFailed++;
+        }
+    }
     if (retireFn_)
         retireFn_(task);
 }

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.h"
 #include "common/geometry.h"
 #include "common/types.h"
 // PartitionDesc is a pure value type over common/geometry.h; carrying
@@ -133,6 +134,13 @@ struct LaunchedTask
      * inactive.
      */
     std::vector<std::uint8_t> argCanonical;
+    /**
+     * Degradation flag: execute this task on the scalar interpreter
+     * even when a vector plan exists (set when plan/lowering faulted —
+     * the scalar path is the bitwise reference, so the fallback is
+     * transparent).
+     */
+    bool forceScalar = false;
 };
 
 /** Cost-model inputs of one submitted task (computed at submission). */
@@ -181,6 +189,10 @@ struct StreamStats
      * interconnect, not a single processor timeline). */
     double collectiveTime = 0.0;
     std::size_t maxPendingSeen = 0;
+    /** Tasks whose execution raised a structured error. */
+    std::uint64_t tasksFailed = 0;
+    /** Tasks cancelled because a hazard dependency failed. */
+    std::uint64_t tasksCancelled = 0;
 };
 
 /**
@@ -194,6 +206,11 @@ class TaskStream
 {
   public:
     using ExecuteFn = std::function<void(const LaunchedTask &)>;
+    /** Failure notification: the task whose event failed, its error,
+     * and whether it was cancelled (upstream failure) rather than the
+     * root cause. The runtime poisons the task's outputs here. */
+    using FailFn = std::function<void(const LaunchedTask &, const Error &,
+                                      bool cancelled)>;
 
     TaskStream(const MachineConfig &machine,
                std::size_t max_pending = 256);
@@ -203,6 +220,10 @@ class TaskStream
 
     /** Called after execution to release per-task runtime state. */
     void setRetireFn(ExecuteFn fn) { retireFn_ = std::move(fn); }
+
+    /** Called when a task fails or is cancelled (before its retire
+     * fn, which still runs — resource release must not leak). */
+    void setFailFn(FailFn fn) { failFn_ = std::move(fn); }
 
     /**
      * Submit a task: record hazards against in-flight tasks, extend
@@ -237,6 +258,23 @@ class TaskStream
 
     /** True when `id` has retired (or was never issued). */
     bool complete(EventId id) const;
+
+    /**
+     * True when `id` retired unsuccessfully: its execution raised a
+     * structured error, or an upstream hazard dependency failed and it
+     * was cancelled (its kernel never ran).
+     */
+    bool eventFailed(EventId id) const { return failed_.count(id) != 0; }
+
+    /** The error of a failed event (nullptr when it succeeded). */
+    const Error *eventError(EventId id) const
+    {
+        auto it = failed_.find(id);
+        return it == failed_.end() ? nullptr : &it->second;
+    }
+
+    /** Forget recorded failures (session resetAfterError()). */
+    void clearFailures() { failed_.clear(); }
 
     /** Number of submitted-but-unretired tasks. */
     std::size_t pending() const { return pending_.size(); }
@@ -303,10 +341,15 @@ class TaskStream
     std::size_t maxPending_;
     ExecuteFn executeFn_;
     ExecuteFn retireFn_;
+    FailFn failFn_;
 
     /** Ordered by EventId == submission order (a topological order). */
     std::map<EventId, PendingTask> pending_;
     std::unordered_map<StoreId, StoreHistory> history_;
+    /** Events that retired unsuccessfully, with their errors. Bounded
+     * by clearFailures(): a failed session drains, surfaces the error
+     * and resets — failures never accumulate across healthy epochs. */
+    std::map<EventId, Error> failed_;
     EventId next_ = 1;
 
     /** Simulated schedule state. */

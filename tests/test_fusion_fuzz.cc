@@ -89,21 +89,13 @@ bits(const std::vector<double> &v)
 // ---------------------------------------------------------------------
 
 /**
- * Run the seed's program under `cfg` and return the bits of every
- * live array. Every random decision depends only on `seed`, so each
+ * Run the seed's program in `rt` and return the bits of every live
+ * array. Every random decision depends only on `seed`, so each
  * configuration replays the identical op DAG.
  */
 std::vector<std::vector<std::uint64_t>>
-runProgram(std::uint64_t seed, const Config &cfg)
+runProgramBody(DiffuseRuntime &rt, std::uint64_t seed)
 {
-    ScalarGuard guard(cfg.scalarExec);
-    DiffuseOptions o;
-    o.fusionEnabled = cfg.fused;
-    o.mode = rt::ExecutionMode::Real;
-    o.workers = cfg.workers;
-    o.ranks = cfg.ranks;
-    o.trace = cfg.trace;
-    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
     Context ctx(rt);
 
     Rng rng(seed);
@@ -256,6 +248,21 @@ runProgram(std::uint64_t seed, const Config &cfg)
     return out;
 }
 
+/** Fresh-runtime wrapper around runProgramBody. */
+std::vector<std::vector<std::uint64_t>>
+runProgram(std::uint64_t seed, const Config &cfg)
+{
+    ScalarGuard guard(cfg.scalarExec);
+    DiffuseOptions o;
+    o.fusionEnabled = cfg.fused;
+    o.mode = rt::ExecutionMode::Real;
+    o.workers = cfg.workers;
+    o.ranks = cfg.ranks;
+    o.trace = cfg.trace;
+    DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+    return runProgramBody(rt, seed);
+}
+
 TEST(FusionFuzz, AllConfigurationsBitwiseEqual)
 {
     const int seeds = envInt("DIFFUSE_FUZZ_SEEDS", 8, 1, 100000);
@@ -282,6 +289,74 @@ TEST(FusionFuzz, AllConfigurationsBitwiseEqual)
                     << " array " << i;
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault dimension: the same seeded DAGs under injected faults. The
+// transparently-degrading kinds (exchange retry, compile → scalar,
+// trace → analyzed path) must stay bitwise-identical with no error
+// surfaced; a hard kernel fault must surface structurally, and after
+// resetAfterError() a clean re-run of the whole program in the same
+// runtime must be bitwise-identical to a never-faulted run.
+// ---------------------------------------------------------------------
+
+TEST(FusionFuzz, TransparentFaultsKeepBitwiseEquality)
+{
+    const int seeds = envInt("DIFFUSE_FUZZ_SEEDS", 8, 1, 100000);
+    const Config production{true, false, 8, 4, 1};
+    const unsigned transparent =
+        (1u << unsigned(rt::FaultKind::Exchange)) |
+        (1u << unsigned(rt::FaultKind::Compile)) |
+        (1u << unsigned(rt::FaultKind::Trace));
+    for (int s = 0; s < seeds; s++) {
+        std::uint64_t seed = 0xFA17 + std::uint64_t(s) * 7919;
+        auto expect = runProgram(seed, production);
+        DiffuseOptions o;
+        o.mode = rt::ExecutionMode::Real;
+        o.workers = production.workers;
+        o.ranks = production.ranks;
+        o.trace = production.trace;
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+        // 5% ambient rate on the degrading kinds only.
+        rt.low().faults().configure(seed, 500, transparent);
+        auto got = runProgramBody(rt, seed);
+        ASSERT_EQ(got, expect) << "seed " << seed;
+        EXPECT_FALSE(rt.failed()) << "seed " << seed;
+    }
+}
+
+TEST(FusionFuzz, HardFaultRecoveryRerunsBitwise)
+{
+    const int seeds = envInt("DIFFUSE_FUZZ_SEEDS", 8, 1, 100000);
+    const Config production{true, false, 8, 4, 1};
+    for (int s = 0; s < seeds; s++) {
+        std::uint64_t seed = 0xDEAD + std::uint64_t(s) * 7919;
+        auto expect = runProgram(seed, production);
+        DiffuseOptions o;
+        o.mode = rt::ExecutionMode::Real;
+        o.workers = production.workers;
+        o.ranks = production.ranks;
+        o.trace = production.trace;
+        DiffuseRuntime rt(rt::MachineConfig::withGpus(4), o);
+        // Fusion can collapse a whole program into very few fused
+        // kernels (sometimes a single one), so the only skip that is
+        // guaranteed to land for every generated program is 0: at
+        // least one kernel must retire to produce the consumed sums.
+        rt.low().faults().armOneShot(rt::FaultKind::Kernel, /*skip=*/0);
+        bool threw = false;
+        try {
+            (void)runProgramBody(rt, seed);
+        } catch (const DiffuseError &e) {
+            threw = true;
+            EXPECT_EQ(e.code(), ErrorCode::KernelFault)
+                << "seed " << seed;
+            rt.resetAfterError();
+        }
+        ASSERT_TRUE(threw) << "seed " << seed;
+        ASSERT_FALSE(rt.failed()) << "seed " << seed;
+        auto got = runProgramBody(rt, seed);
+        ASSERT_EQ(got, expect) << "seed " << seed;
     }
 }
 
