@@ -56,27 +56,27 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 namespace {
 
 std::mutex warnMutex_;
-// Keyed by format-string pointer: call sites use string literals, so
-// the pointer identifies the site; a hot loop hammering one site gets
-// thinned without silencing other sites.
-std::map<const void *, std::uint64_t> warnCounts_;
+// Keyed by (format-string pointer, session id): call sites use string
+// literals, so the pointer identifies the site, and the session id
+// scopes the limiter — a hot loop hammering one site in one session
+// gets thinned without silencing other sites *or* other sessions'
+// first sighting of the same site. Session 0 is the process-global
+// bucket (diffuse_warn).
+std::map<std::pair<const void *, std::uint64_t>, std::uint64_t>
+    warnCounts_;
 std::atomic<std::uint64_t> warnCalls_{0};
 std::atomic<std::uint64_t> warnEmits_{0};
 
 constexpr std::uint64_t kWarnFullEmits = 8;
 
-} // namespace
-
 void
-warnImpl(const char *fmt, ...)
+warnVImpl(std::uint64_t session, const char *fmt, va_list ap)
 {
-    va_list ap;
-    va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
-    va_end(ap);
     warnCalls_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(warnMutex_);
-    std::uint64_t count = ++warnCounts_[static_cast<const void *>(fmt)];
+    std::uint64_t count =
+        ++warnCounts_[{static_cast<const void *>(fmt), session}];
     if (count > kWarnFullEmits && (count & (count - 1)) != 0)
         return; // thinned: only power-of-two occurrences past the first 8
     warnEmits_.fetch_add(1, std::memory_order_relaxed);
@@ -86,6 +86,26 @@ warnImpl(const char *fmt, ...)
     } else {
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
     }
+}
+
+} // namespace
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    warnVImpl(0, fmt, ap);
+    va_end(ap);
+}
+
+void
+warnSessionImpl(std::uint64_t session, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    warnVImpl(session, fmt, ap);
+    va_end(ap);
 }
 
 std::uint64_t

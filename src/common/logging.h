@@ -31,11 +31,22 @@ namespace diffuse {
 
 /**
  * Thread-safe, rate-limited warning. Concurrent callers never
- * interleave within one line; per format string the first 8
+ * interleave within one line; per limiter key the first 8
  * occurrences are emitted, then only power-of-two counts (with a
  * suppression tally), so a hot loop cannot flood stderr.
+ *
+ * The limiter key is (call site, session id): call sites use string
+ * literals, so the format-string pointer identifies the site, and
+ * session-scoped sites pass their session id through
+ * `diffuse_warn_session` — one session's warning storm must not
+ * suppress another session's *first* sighting of the same warning.
+ * `diffuse_warn` (session 0) covers process-global sites.
  */
 void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** `warnImpl` with the limiter keyed by (call site, `session`). */
+void warnSessionImpl(std::uint64_t session, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 /** Total diffuse_warn calls this process (for tests). */
 std::uint64_t warnCallCount();
@@ -58,6 +69,11 @@ std::string strprintf(const char *fmt, ...)
 
 /** Non-fatal warning to stderr. */
 #define diffuse_warn(...) ::diffuse::warnImpl(__VA_ARGS__)
+
+/** Non-fatal warning attributed to (and rate-limited per) a runtime
+ * session. */
+#define diffuse_warn_session(session, ...) \
+    ::diffuse::warnSessionImpl((session), __VA_ARGS__)
 
 /** Cheap always-on assertion used at module boundaries. */
 #define diffuse_assert(cond, ...)                                          \

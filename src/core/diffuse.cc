@@ -62,6 +62,11 @@ DiffuseRuntime::DiffuseRuntime(std::shared_ptr<SharedContext> shared,
     traceEnabled_ = options.trace >= 0
                         ? options.trace != 0
                         : envInt("DIFFUSE_TRACE", 1, 0, 1) != 0;
+    // Not mixed into planSalt_: plans and trace epochs are identical
+    // across pipeline modes, so cached entries stay shareable.
+    pipelineEnabled_ = options.pipeline >= 0
+                           ? options.pipeline != 0
+                           : envInt("DIFFUSE_PIPELINE", 0, 0, 1) != 0;
     if (traceEnabled_) {
         low_.setHostWriteObserver(
             [this](StoreId id) { traceOnHostWrite(id); });
@@ -170,6 +175,18 @@ DiffuseRuntime::submit(IndexTask task)
 void
 DiffuseRuntime::flushWindow()
 {
+    flushWindowImpl(pipelineEnabled_);
+}
+
+void
+DiffuseRuntime::flushWindowAsync()
+{
+    flushWindowImpl(true);
+}
+
+void
+DiffuseRuntime::flushWindowImpl(bool pipelined)
+{
     Clock::time_point t0 = Clock::now();
     fusionStats_.flushes++;
     if (traceEnabled_) {
@@ -178,7 +195,13 @@ DiffuseRuntime::flushWindow()
                 fusionStats_.replaySubmitSeconds +=
                     traceEpochSeconds_ + secondsSince(t0);
                 fusionStats_.traceEpochsReplayed++;
-                low_.fence();
+                // Pipelined: the epoch stays in flight; the epoch
+                // mark inside traceBeginEpoch() gives the next
+                // window's submissions fence-equivalent ordering
+                // against it, and failures latch at the next
+                // synchronizing point instead of here.
+                if (!pipelined)
+                    low_.fence();
                 traceBeginEpoch();
                 // The fence never throws; failures it drained into
                 // the session state surface here, at the paper's
@@ -204,8 +227,10 @@ DiffuseRuntime::flushWindow()
     fusionStats_.plannedSubmitSeconds +=
         traceEpochSeconds_ + secondsSince(t0);
     // Drain the asynchronous stream: flush is the paper's
-    // synchronization point, so every submitted group retires here.
-    low_.fence();
+    // synchronization point, so every submitted group retires here —
+    // unless pipelining keeps the epoch in flight (see above).
+    if (!pipelined)
+        low_.fence();
     traceBeginEpoch();
     // Failures recorded during the drain surface now, as the root
     // cause; the session stays failed until resetAfterError().
@@ -467,6 +492,11 @@ DiffuseRuntime::traceBeginEpoch()
 {
     if (low_.capturing())
         low_.endSubmitCapture();
+    // Epoch boundary for the task stream: under pipelining the
+    // previous epoch is still in flight here, and this mark gives the
+    // new epoch's submissions fence-equivalent ordering against it.
+    // Redundant (stream drained) when pipelining is off.
+    low_.markStreamEpoch();
     traceMode_ = TraceMode::Idle;
     traceEnc_.reset(windowSize_);
     epochCodes_.clear();
@@ -618,6 +648,12 @@ DiffuseRuntime::traceApplyEvent(TraceEvent &ev)
 void
 DiffuseRuntime::traceBeginCapture()
 {
+    // Submission capture requires a drained stream (recorded hazard
+    // edges must be intra-epoch). Pipelining can leave the previous
+    // epoch in flight — fence it out first; with pipelining off the
+    // stream is already drained and no fence is recorded.
+    if (low_.streamPending() > 0)
+        low_.fence();
     traceRec_ = std::make_unique<TraceEpoch>();
     traceLog_.clear();
     traceLogMark_ = 0;

@@ -85,6 +85,19 @@ struct DiffuseOptions
      */
     int trace = -1;
     /**
+     * Cross-window pipelining: flushWindow() submits the window's
+     * epoch and returns once its hazards are registered in the task
+     * stream, instead of draining it — the next window's submissions
+     * overlap the previous window's retirement, and failures latch at
+     * the next synchronizing read/fence rather than at the flush
+     * call. 1 on, 0 off; < 0 reads DIFFUSE_PIPELINE (default off).
+     * Results, stats, and simulated schedules are bit-identical
+     * either way; the drain-and-fence path (off) is the differential
+     * oracle. flushWindowAsync() takes the pipelined path regardless
+     * of this setting.
+     */
+    int pipeline = -1;
+    /**
      * Share the process-wide caches (compiled kernels, memoized
      * plans, trace epochs) and worker pool when this session is
      * created via SharedContext::createSession (core/context.h). 1
@@ -190,8 +203,20 @@ class DiffuseRuntime
 
     /** Drain the window (paper's flush_window). Throws DiffuseError
      * with the root cause when a task of the epoch failed — the
-     * session then stays failed until resetAfterError(). */
+     * session then stays failed until resetAfterError(). With
+     * DiffuseOptions::pipeline on this dispatches to the pipelined
+     * path (see flushWindowAsync) instead of draining. */
     void flushWindow();
+
+    /** Pipelined flush: submit the window's epoch into the task
+     * stream and return once its hazards are registered, without
+     * waiting for retirement — the next window overlaps this one's
+     * execution. A failure in the in-flight epoch latches the session
+     * at the next synchronizing point (host read, fence, overflow of
+     * the in-flight bound, or destructor) with the same root cause
+     * the draining path reports at the flush site. Throws immediately
+     * only if the session is already failed. */
+    void flushWindowAsync();
 
     /** Flush, then read back a scalar store's value. */
     double readScalar(StoreId id);
@@ -278,6 +303,10 @@ class DiffuseRuntime
 
     ExecutionGroup buildSingleCached(const IndexTask &task);
 
+    /** Shared flush body: `pipelined` skips the inter-epoch fences so
+     * the submitted epoch retires concurrently with the next window. */
+    void flushWindowImpl(bool pipelined);
+
     // ---- Trace-memoized window replay (core/trace.h) ----------------
 
     enum class TraceMode : std::uint8_t {
@@ -363,6 +392,8 @@ class DiffuseRuntime
 
     std::vector<IndexTask> window_;
     int windowSize_;
+    /** Resolved DiffuseOptions::pipeline (flushWindow dispatch). */
+    bool pipelineEnabled_ = false;
 
     // ---- Trace state (see the private trace* methods) ----------------
 

@@ -1045,31 +1045,80 @@ WorkerPool::~WorkerPool()
                             std::memory_order_relaxed);
 }
 
-void
-WorkerPool::runShare(int slot)
+bool
+WorkerPool::nextSpan(Job &job, int slot, coord_t &begin, coord_t &end)
 {
-    const std::function<void(int, coord_t, coord_t)> &fn = *fn_;
-    for (;;) {
-        coord_t c = nextChunk_.fetch_add(1, std::memory_order_relaxed);
-        if (c >= numChunks_)
-            break;
-        coord_t begin = c * chunk_;
-        coord_t end = std::min(numItems_, begin + chunk_);
-        try {
-            fn(slot, begin, end);
-        } catch (...) {
-            // A kernel share may throw (injected faults, real bugs).
-            // Letting it escape workerLoop() would std::terminate the
-            // process; record the first exception and drain the job so
-            // parallelForChunked can rethrow it on the submitting
-            // thread.
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                if (!jobError_)
-                    jobError_ = std::current_exception();
+    // Own deque first: LIFO keeps a worker on the span it just split,
+    // so consecutive chunks stay cache-adjacent.
+    {
+        Job::SlotDeque &own = job.deques[std::size_t(slot)];
+        std::lock_guard<std::mutex> lock(own.m);
+        if (!own.q.empty()) {
+            begin = own.q.back().first;
+            end = own.q.back().second;
+            own.q.pop_back();
+            return true;
+        }
+    }
+    // Steal round-robin from the other slots' fronts (the oldest —
+    // largest — remainder of the victim's current span).
+    for (int i = 1; i < job.slotLimit; i++) {
+        int victim = (slot + i) % job.slotLimit;
+        Job::SlotDeque &vd = job.deques[std::size_t(victim)];
+        std::lock_guard<std::mutex> lock(vd.m);
+        if (vd.q.empty())
+            continue;
+        begin = vd.q.front().first;
+        end = vd.q.front().second;
+        vd.q.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+WorkerPool::runStint(const std::shared_ptr<Job> &job, int slot)
+{
+    const std::function<void(int, coord_t, coord_t)> &fn = *job->fn;
+    coord_t begin = 0, end = 0;
+    while (nextSpan(*job, slot, begin, end)) {
+        // Split one chunk off the span; the remainder goes back onto
+        // the own deque where thieves can reach it.
+        coord_t e = std::min(end, begin + job->chunk);
+        if (end > e) {
+            Job::SlotDeque &own = job->deques[std::size_t(slot)];
+            std::lock_guard<std::mutex> lock(own.m);
+            own.q.emplace_back(e, end);
+        }
+        job->itemsTaken.fetch_add(e - begin, std::memory_order_relaxed);
+        // A cancelled job's chunks are credited without executing:
+        // the accounting still converges and the stint drains fast.
+        bool run;
+        {
+            std::lock_guard<std::mutex> lock(job->m);
+            run = !job->cancelled;
+        }
+        if (run) {
+            try {
+                fn(slot, begin, e);
+            } catch (...) {
+                // A kernel share may throw (injected faults, real
+                // bugs). Letting it escape workerLoop() would
+                // std::terminate the process; record the first
+                // exception and cancel the remainder so runJob can
+                // rethrow it on the submitting thread.
+                std::lock_guard<std::mutex> lock(job->m);
+                if (!job->error)
+                    job->error = std::current_exception();
+                job->cancelled = true;
             }
-            nextChunk_.store(numChunks_, std::memory_order_relaxed);
-            break;
+        }
+        std::lock_guard<std::mutex> lock(job->m);
+        job->itemsDone += e - begin;
+        if (job->itemsDone >= job->numItems) {
+            job->done = true;
+            job->cv.notify_all();
         }
     }
 }
@@ -1077,40 +1126,107 @@ WorkerPool::runShare(int slot)
 void
 WorkerPool::workerLoop()
 {
-    std::uint64_t seen = 0;
     for (;;) {
-        int slot;
+        std::shared_ptr<Job> job;
+        int slot = -1;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            start_.wait(lock, [&] {
-                return stop_ || generation_ != seen;
-            });
-            if (stop_)
-                return;
-            seen = generation_;
-            // Participation is decided under the lock: a worker that
-            // wakes after its generation's job already completed sees
-            // fn_ == nullptr (cleared under this mutex) and must not
-            // touch the slot counter — the next job's publish resets
-            // it, and an unlocked claim could hand one dense slot id
-            // to two threads (racing scratch-state corruption).
-            if (fn_ == nullptr)
-                continue;
-            // Dense job-slot ids let callers size per-slot scratch to
-            // their own worker budget; threads beyond the job's cap
-            // sit it out.
-            slot = nextSlot_++;
-            if (slot >= slotLimit_)
-                continue;
-            active_++;
+            for (;;) {
+                if (stop_)
+                    return;
+                // Lease a free worker slot on any active job that
+                // still has unclaimed items. Scanning in registration
+                // order is fair enough: a job whose items are all
+                // taken is skipped, so helpers spill onto younger
+                // jobs instead of piling up.
+                for (const std::shared_ptr<Job> &j : activeJobs_) {
+                    if (j->itemsTaken.load(std::memory_order_relaxed) >=
+                        j->numItems) {
+                        continue;
+                    }
+                    std::lock_guard<std::mutex> jl(j->m);
+                    if (j->freeSlots.empty())
+                        continue;
+                    slot = j->freeSlots.back();
+                    j->freeSlots.pop_back();
+                    job = j;
+                    break;
+                }
+                if (job)
+                    break;
+                std::uint64_t seen = signal_;
+                start_.wait(lock, [&] {
+                    return stop_ || signal_ != seen;
+                });
+            }
         }
-        runShare(slot);
+        runStint(job, slot);
+        bool more;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
-            active_--;
+            // Return the slot lease. If items are still unclaimed
+            // (this helper simply lost every race), another parked
+            // helper may be able to use the slot — wake one.
+            std::lock_guard<std::mutex> lock(job->m);
+            job->freeSlots.push_back(slot);
+            more = job->itemsTaken.load(std::memory_order_relaxed) <
+                   job->numItems;
         }
-        done_.notify_one();
+        job.reset();
+        if (more) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                signal_++;
+            }
+            start_.notify_one();
+        }
     }
+}
+
+void
+WorkerPool::runJob(coord_t n, coord_t chunk, int cap,
+                   const std::function<void(int, coord_t, coord_t)> &fn)
+{
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->numItems = n;
+    job->chunk = chunk;
+    job->slotLimit = cap;
+    job->deques = std::vector<Job::SlotDeque>(std::size_t(cap));
+    // The caller owns slot 0 for the whole job; helpers lease
+    // 1..cap-1 (descending so slot 1 is handed out first).
+    job->freeSlots.reserve(std::size_t(cap) - 1);
+    for (int s = cap - 1; s >= 1; s--)
+        job->freeSlots.push_back(s);
+    // Seed the whole range onto the caller's deque: the caller starts
+    // splitting chunks off it immediately and helpers steal the tail.
+    job->deques[0].q.emplace_back(coord_t(0), n);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ensureSpawnedLocked(cap);
+        activeJobs_.push_back(job);
+        signal_++;
+    }
+    start_.notify_all();
+
+    runStint(job, 0);
+
+    // The caller's stint found no more spans; chunks may still be
+    // executing on helper slots. Wait for the accounting to converge
+    // rather than for a quiescent pool — other jobs keep running.
+    {
+        std::unique_lock<std::mutex> lock(job->m);
+        job->cv.wait(lock, [&] { return job->done; });
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = std::find(activeJobs_.begin(), activeJobs_.end(), job);
+        diffuse_assert(it != activeJobs_.end(),
+                       "job vanished from the scheduler registry");
+        activeJobs_.erase(it);
+    }
+    if (job->error)
+        std::rethrow_exception(job->error);
 }
 
 void
@@ -1135,43 +1251,7 @@ WorkerPool::parallelForChunked(
         fn(0, 0, n);
         return;
     }
-    // One job at a time: job state is never owned by two callers at
-    // once. A session that finds the (shared) pool busy runs its job
-    // serially on its own thread instead of idling — results are
-    // worker-count-invariant by construction, so this only trades
-    // one job's internal parallelism for cross-session parallelism.
-    std::unique_lock<std::mutex> job(jobMutex_, std::try_to_lock);
-    if (!job.owns_lock()) {
-        fn(0, 0, n);
-        return;
-    }
-    {
-        // Publish the job. Completion of the previous job (active_ ==
-        // 0) is guaranteed by the wait at the end of this function, so
-        // job state is never mutated while a worker reads it.
-        std::lock_guard<std::mutex> lock(mutex_);
-        ensureSpawnedLocked(cap);
-        fn_ = &fn;
-        numItems_ = n;
-        chunk_ = chunk;
-        numChunks_ = (n + chunk - 1) / chunk;
-        nextChunk_.store(0, std::memory_order_relaxed);
-        nextSlot_ = 1;
-        slotLimit_ = cap;
-        generation_++;
-    }
-    start_.notify_all();
-    runShare(0);
-    std::exception_ptr err;
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_.wait(lock, [&] { return active_ == 0; });
-        fn_ = nullptr;
-        err = jobError_;
-        jobError_ = nullptr;
-    }
-    if (err)
-        std::rethrow_exception(err);
+    runJob(n, chunk, cap, fn);
 }
 
 void

@@ -37,11 +37,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/geometry.h"
@@ -272,22 +276,33 @@ class Executor
 };
 
 /**
- * Pool of worker threads for sharding the strip/row ranges of a
- * retired index task. Worker 0 is the calling thread; up to
- * `workers() - 1` helper threads are spawned **lazily** on the first
- * job that can use them (a pool that never runs parallel work never
- * spawns a thread) and parked on a condition variable between jobs.
- * Ranges are claimed from a shared atomic counter, so load balance is
- * dynamic but any determinism requirement must be met by indexing
- * results by item (not by worker), as the runtime's reduction merge
- * does.
+ * Work-stealing task scheduler sharding the strip/row ranges of
+ * retired index tasks. A `parallelFor`/`parallelForChunked` call
+ * submits one *job* — a range [0, n) cut into chunk-granular work
+ * items — and the calling thread immediately participates as the
+ * job's slot 0. Up to `workers() - 1` helper threads are spawned
+ * **lazily** on the first job that can use them (a pool that never
+ * runs parallel work never spawns a thread) and parked on a
+ * condition variable between jobs.
+ *
+ * Each job keeps one deque of spans per worker slot: a worker pops
+ * its own deque LIFO (splitting one chunk off the front of a span
+ * and pushing the remainder back, so the tail stays stealable) and,
+ * when its deque runs dry, steals FIFO from the other slots of the
+ * job. Load balance is dynamic, so any determinism requirement must
+ * be met by indexing results by item (not by worker), as the
+ * runtime's reduction merge does.
  *
  * One pool may be shared by several runtime sessions (see
- * core/context.h): jobs from different calling threads serialize on
- * an internal job mutex, `reserve()` raises the thread target to the
- * largest session request, and each job caps its dense worker-slot
- * ids at the caller's `max_workers` — so a workers=1 session sharing
- * an 8-thread pool still executes exactly like an isolated workers=1
+ * core/context.h). Unlike the historical one-job-at-a-time pool —
+ * whose busy-pool `try_lock` fallback silently ran a whole job
+ * serially — concurrent jobs coexist: every job is registered with
+ * the scheduler, and idle helpers lease a free worker slot on *any*
+ * active job, so N sessions' point-task shards interleave instead of
+ * queueing. `reserve()` raises the thread target to the largest
+ * session request, and each job caps its dense worker-slot ids at
+ * the caller's `max_workers` — so a workers=1 session sharing an
+ * 8-thread pool still executes exactly like an isolated workers=1
  * runtime, and per-session scratch arrays sized for `max_workers`
  * slots are never indexed beyond it.
  */
@@ -352,9 +367,64 @@ class WorkerPool
      */
     static int defaultWorkers();
 
+    /** Spans stolen across worker slots so far (tests: steal-heavy
+     * configurations must actually steal). */
+    std::uint64_t steals() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
   private:
+    /**
+     * One submitted parallel job. Spans of un-started items live in
+     * per-slot deques; `freeSlots` leases the dense helper slot ids
+     * (the caller permanently owns slot 0), `itemsDone` drives
+     * completion, and the first exception cancels the remainder —
+     * cancelled spans are credited without executing, so accounting
+     * always converges and the error is rethrown on the submitting
+     * thread.
+     */
+    struct Job
+    {
+        const std::function<void(int, coord_t, coord_t)> *fn = nullptr;
+        coord_t numItems = 0;
+        coord_t chunk = 1;
+        int slotLimit = 1;
+        /** Items split off into executing chunks so far (gate for the
+         * helper scan: nothing left to claim once == numItems). */
+        std::atomic<coord_t> itemsTaken{0};
+
+        /** Guards the fields below. Lock order: pool mutex_ before
+         * any Job::m; never the reverse. */
+        std::mutex m;
+        std::condition_variable cv;
+        std::vector<int> freeSlots; ///< leasable helper slots (1..)
+        coord_t itemsDone = 0;
+        std::exception_ptr error;
+        bool cancelled = false;
+        bool done = false;
+
+        /** Per-slot span deques (owner pops back, thieves steal
+         * front). Sized to slotLimit at submission. */
+        struct SlotDeque
+        {
+            std::mutex m;
+            std::deque<std::pair<coord_t, coord_t>> q;
+        };
+        std::vector<SlotDeque> deques;
+    };
+
     void workerLoop();
-    void runShare(int slot);
+    /** Execute (or credit, once cancelled) chunks of `job` as slot
+     * `slot` until neither the own deque nor a steal yields a span. */
+    void runStint(const std::shared_ptr<Job> &job, int slot);
+    /** Pop the next span: own deque back first, then steal round-robin
+     * from the other slots' fronts. Returns false when the job has no
+     * unclaimed span left. */
+    bool nextSpan(Job &job, int slot, coord_t &begin, coord_t &end);
+    /** Submit a job to the scheduler and run the caller's stint. */
+    void runJob(coord_t n, coord_t chunk, int cap,
+                const std::function<void(int, coord_t, coord_t)> &fn);
     /** Spawn helper threads up to min(target, job cap) (mutex_
      * held). */
     void ensureSpawnedLocked(int cap);
@@ -362,29 +432,15 @@ class WorkerPool
     std::vector<std::thread> threads_;
     mutable std::mutex mutex_;
     std::condition_variable start_;
-    std::condition_variable done_;
-    /** Serializes whole jobs: a shared pool runs one session's job at
-     * a time (callers block; no interleaved job state). */
-    std::mutex jobMutex_;
-    const std::function<void(int, coord_t, coord_t)> *fn_ = nullptr;
-    /** First exception thrown by any share of the current job; set
-     * under mutex_, rethrown on the submitting thread once the job
-     * drains (a throwing kernel must not std::terminate a helper). */
-    std::exception_ptr jobError_;
-    std::atomic<coord_t> nextChunk_{0};
-    coord_t numItems_ = 0;
-    coord_t chunk_ = 1;
-    coord_t numChunks_ = 0;
-    /** Dense worker-slot ids for the current job: spawned threads
-     * claim 1..slotLimit_-1 under mutex_; excess threads sit the job
-     * out (the caller always owns slot 0). */
-    int nextSlot_ = 1;
-    int slotLimit_ = 1;
+    /** Jobs with potentially claimable work (registration order).
+     * Guarded by mutex_. */
+    std::vector<std::shared_ptr<Job>> activeJobs_;
+    /** Bumped (under mutex_) whenever claimable work may have
+     * appeared; parked helpers wait for it to move. */
+    std::uint64_t signal_ = 0;
     /** Thread target (callers may reserve() it upward at any time). */
     std::atomic<int> target_{1};
-    /** Spawned workers currently inside runShare(). */
-    int active_ = 0;
-    std::uint64_t generation_ = 0;
+    std::atomic<std::uint64_t> steals_{0};
     bool stop_ = false;
 };
 

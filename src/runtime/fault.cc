@@ -96,6 +96,20 @@ FaultInjector::configure(std::uint64_t seed, int ratePerTenK,
 }
 
 void
+FaultInjector::resetCounters()
+{
+    // Keep seed/rate/mask: the injector stays armed exactly as
+    // configured, but the deterministic opportunity sequence restarts
+    // from zero — reset + rerun replays the same firing pattern.
+    for (KindState &ks : kinds_) {
+        ks.count.store(0, std::memory_order_relaxed);
+        ks.shotAt.store(0, std::memory_order_relaxed);
+        ks.shotEnd.store(0, std::memory_order_relaxed);
+    }
+    armed_.store(rate_ > 0, std::memory_order_relaxed);
+}
+
+void
 FaultInjector::armOneShot(FaultKind kind, std::uint64_t skip,
                           std::uint64_t burst)
 {

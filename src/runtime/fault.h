@@ -65,6 +65,16 @@ class FaultInjector
     void armOneShot(FaultKind kind, std::uint64_t skip,
                     std::uint64_t burst = 1);
 
+    /**
+     * Rewind the per-kind opportunity counters to zero and disarm any
+     * armed shot, keeping the (seed, rate, kinds) configuration.
+     * Called by LowRuntime::resetAfterError(): a recovered session's
+     * re-run must sample the same deterministic fault sequence as a
+     * fresh session under the same seed — without this, the surviving
+     * counters make post-recovery firing history-dependent.
+     */
+    void resetCounters();
+
     /** Cheap gate: false iff rate==0 and no shot is armed. */
     bool enabled() const
     {

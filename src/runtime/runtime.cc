@@ -80,6 +80,7 @@ LowRuntime::LowRuntime(const MachineConfig &machine, ExecutionMode mode,
     });
     memBudgetBytes_ =
         std::size_t(envInt("DIFFUSE_MEM_BUDGET", 0, 1, 1 << 20)) << 20;
+    chunkOverride_ = envInt("DIFFUSE_CHUNK", 0, 0, 1 << 20);
 }
 
 StoreId
@@ -610,9 +611,11 @@ LowRuntime::submit(LaunchedTask task)
         faults_.shouldFault(FaultKind::Compile)) {
         task.forceScalar = true;
         faultStats_.scalarFallbacks++;
-        diffuse_warn("session %llu: compile fault on task %s; degrading "
-                     "to scalar interpreter",
-                     (unsigned long long)sessionId_, task.name.c_str());
+        diffuse_warn_session(
+            sessionId_,
+            "session %llu: compile fault on task %s; degrading "
+            "to scalar interpreter",
+            (unsigned long long)sessionId_, task.name.c_str());
     }
 
     for (const LowArg &arg : task.args)
@@ -923,11 +926,12 @@ LowRuntime::executeRetired(const LaunchedTask &task)
                                   attempt),
                         task.name, task.copy.store));
                 faultStats_.exchangeRetries++;
-                diffuse_warn("session %llu: transient exchange fault on "
-                             "store %llu (attempt %d); retrying",
-                             (unsigned long long)sessionId_,
-                             (unsigned long long)task.copy.store,
-                             attempt);
+                diffuse_warn_session(
+                    sessionId_,
+                    "session %llu: transient exchange fault on "
+                    "store %llu (attempt %d); retrying",
+                    (unsigned long long)sessionId_,
+                    (unsigned long long)task.copy.store, attempt);
                 std::this_thread::sleep_for(
                     std::chrono::microseconds(1 << attempt));
                 continue;
@@ -1126,8 +1130,10 @@ LowRuntime::executeSharded(
         if (total == 0)
             continue;
 
-        coord_t chunk = std::max<coord_t>(
-            1, total / (coord_t(workers_) * 8));
+        coord_t chunk =
+            chunkOverride_ > 0
+                ? coord_t(chunkOverride_)
+                : std::max<coord_t>(1, total / (coord_t(workers_) * 8));
         std::uint64_t epoch = ++stripEpoch_;
         pool_->parallelForChunked(total, chunk, workers_,
                                   [&](int worker,
@@ -1234,9 +1240,9 @@ LowRuntime::onTaskFailed(const LaunchedTask &task, const Error &e,
     if (sessionError_.ok())
         sessionError_ = e;
     if (!cancelled)
-        diffuse_warn("session %llu: task failed: %s",
-                     (unsigned long long)sessionId_,
-                     e.describe().c_str());
+        diffuse_warn_session(sessionId_, "session %llu: task failed: %s",
+                             (unsigned long long)sessionId_,
+                             e.describe().c_str());
 }
 
 void
@@ -1264,6 +1270,13 @@ LowRuntime::resetAfterError()
     }
     poisoned_.clear();
     sessionError_ = Error();
+    // Counter hygiene: rewind the injector's per-kind opportunity
+    // counters (keeping seed/rate/kinds) so a recovered session's
+    // re-run samples the same deterministic fault sequence as a fresh
+    // session — post-recovery behavior must not depend on how many
+    // opportunities the failed run burned. Armed shots are disarmed;
+    // tests re-arm after reset when they want another failure.
+    faults_.resetCounters();
 }
 
 } // namespace rt

@@ -259,6 +259,22 @@ class LowRuntime
     /** True when `id` has retired. */
     bool eventComplete(EventId id) const { return stream_.complete(id); }
 
+    /**
+     * Marks the stream epoch boundary for cross-window pipelining:
+     * submissions after this call treat still-pending work from before
+     * it with fence semantics (unconditional schedule clamp, uncounted
+     * hazard edges). Called at every window/trace epoch start; a no-op
+     * for scheduling and statistics when the stream is drained, which
+     * is always the case when pipelining is off.
+     */
+    void markStreamEpoch() { stream_.markEpoch(); }
+
+    /** Tasks submitted but not yet retired (pipelining introspection). */
+    std::size_t streamPending() const { return stream_.pending(); }
+
+    /** The worker pool executing sharded nests (possibly shared). */
+    kir::WorkerPool &pool() { return *pool_; }
+
     /** Synchronous convenience: wait(submit(task)). */
     void execute(const LaunchedTask &task);
 
@@ -514,6 +530,10 @@ class LowRuntime
      * scratch sizing use it, never the (possibly larger, shared)
      * pool's thread target. */
     int workers_ = 1;
+    /** DIFFUSE_CHUNK: fixed chunk size for sharded nests (0 = auto,
+     * total/(workers*8)). Small values force steal-heavy schedules in
+     * the determinism tests; results are chunk-invariant by design. */
+    int chunkOverride_ = 0;
     std::shared_ptr<kir::WorkerPool> pool_;
     /** Per-worker executor state (executors are not thread-safe). */
     std::vector<kir::Executor> executors_;

@@ -64,9 +64,23 @@ TaskStream::submit(LaunchedTask task, TaskTiming timing,
     // read since it (WAR). Reductions mutate their accumulator and are
     // ordered like writes, which also keeps their merge order — and
     // hence floating-point results — deterministic.
+    //
+    // Records of *earlier epochs* (id < epochStart_, pending only
+    // when cross-window pipelining skipped the inter-epoch fence)
+    // follow the fence semantics instead: they clamp the schedule
+    // placement unconditionally — a fence would have retired them
+    // into the per-store floors, which apply regardless of overlap —
+    // and their hazard edges, kept so retirement order and failure
+    // cancellation stay correct across windows, are left out of the
+    // dep-kind statistics a fenced run would never have counted.
     std::vector<EventId> deps;
     std::uint32_t raw = 0, war = 0, waw = 0;
     double dep_finish = 0.0;
+    auto add_edge = [&](const AccessRec &a) {
+        if (pending_.count(a.id) &&
+            std::find(deps.begin(), deps.end(), a.id) == deps.end())
+            deps.push_back(a.id);
+    };
     auto add_dep = [&](const AccessRec &a, std::uint32_t &kind) {
         if (a.id == NO_EVENT)
             return;
@@ -77,6 +91,18 @@ TaskStream::submit(LaunchedTask task, TaskTiming timing,
             kind++;
         }
     };
+    auto scan = [&](const std::vector<AccessRec> &recs,
+                    const LowArg &arg, std::uint32_t &kind) {
+        for (const AccessRec &a : recs) {
+            if (a.id != NO_EVENT && a.id < epochStart_) {
+                dep_finish = std::max(dep_finish, a.finish);
+                if (overlaps(arg.replicated, arg.pieces, a))
+                    add_edge(a);
+            } else if (overlaps(arg.replicated, arg.pieces, a)) {
+                add_dep(a, kind);
+            }
+        }
+    };
     for (const LowArg &arg : task.args) {
         auto it = history_.find(arg.store);
         if (it == history_.end())
@@ -85,23 +111,13 @@ TaskStream::submit(LaunchedTask task, TaskTiming timing,
         compactHistory(h); // bound growth; retired records → floors
         bool mutates = privWrites(arg.priv) || privReduces(arg.priv);
         if (privReads(arg.priv) || privReduces(arg.priv)) {
-            for (const AccessRec &w : h.writes) {
-                if (overlaps(arg.replicated, arg.pieces, w))
-                    add_dep(w, raw);
-            }
+            scan(h.writes, arg, raw);
             dep_finish = std::max(dep_finish, h.writeFinishFloor);
         }
         if (mutates) {
-            if (!privReads(arg.priv)) {
-                for (const AccessRec &w : h.writes) {
-                    if (overlaps(arg.replicated, arg.pieces, w))
-                        add_dep(w, waw);
-                }
-            }
-            for (const AccessRec &r : h.reads) {
-                if (overlaps(arg.replicated, arg.pieces, r))
-                    add_dep(r, war);
-            }
+            if (!privReads(arg.priv))
+                scan(h.writes, arg, waw);
+            scan(h.reads, arg, war);
             dep_finish = std::max(dep_finish, h.writeFinishFloor);
             dep_finish = std::max(dep_finish, h.readFinishFloor);
         }
@@ -128,7 +144,31 @@ TaskStream::submitPrelinked(LaunchedTask task, TaskTiming timing,
     // retired through the in-flight bound) folded its finish times
     // there, exactly as the analyzed path would have observed after
     // compaction.
+    //
+    // Under cross-window pipelining, earlier epochs' records (id <
+    // epochStart_) can still be pending — the recorded edges, which
+    // are intra-epoch by construction, never cover them. They take the
+    // fence semantics: clamp the schedule placement unconditionally
+    // (a fence would have folded them into the floors) and keep
+    // uncounted overlap edges so retirement order and failure
+    // cancellation propagate across the window boundary.
     double dep_finish = 0.0;
+    std::vector<EventId> deps;
+    auto add_old_edge = [&](const AccessRec &a) {
+        if (pending_.count(a.id) &&
+            std::find(deps.begin(), deps.end(), a.id) == deps.end())
+            deps.push_back(a.id);
+    };
+    auto scan_old = [&](const std::vector<AccessRec> &recs,
+                        const LowArg &arg) {
+        for (const AccessRec &a : recs) {
+            if (a.id == NO_EVENT || a.id >= epochStart_)
+                continue;
+            dep_finish = std::max(dep_finish, a.finish);
+            if (overlaps(arg.replicated, arg.pieces, a))
+                add_old_edge(a);
+        }
+    };
     for (const LowArg &arg : task.args) {
         auto it = history_.find(arg.store);
         if (it == history_.end())
@@ -136,15 +176,19 @@ TaskStream::submitPrelinked(LaunchedTask task, TaskTiming timing,
         StoreHistory &h = it->second;
         compactHistory(h);
         bool mutates = privWrites(arg.priv) || privReduces(arg.priv);
-        if (privReads(arg.priv) || privReduces(arg.priv))
+        if (privReads(arg.priv) || privReduces(arg.priv)) {
+            scan_old(h.writes, arg);
             dep_finish = std::max(dep_finish, h.writeFinishFloor);
+        }
         if (mutates) {
+            if (!privReads(arg.priv))
+                scan_old(h.writes, arg);
+            scan_old(h.reads, arg);
             dep_finish = std::max(dep_finish, h.writeFinishFloor);
             dep_finish = std::max(dep_finish, h.readFinishFloor);
         }
     }
-    std::vector<EventId> deps;
-    deps.reserve(trace.deps.size());
+    deps.reserve(deps.size() + trace.deps.size());
     for (EventId d : trace.deps) {
         auto it = pending_.find(d);
         if (it == pending_.end())

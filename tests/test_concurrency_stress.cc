@@ -50,13 +50,18 @@ struct StressConfig
     int ranks = 1;
     int trace = 1;
     int sharedCache = 1;
+    /** Cross-window pipelining: sessions race retirement of one
+     * window against submission of the next, on top of the cache
+     * races. 0 is the draining oracle. */
+    int pipeline = 0;
 
     std::string
     label() const
     {
         return "w" + std::to_string(workers) + "/r" +
                std::to_string(ranks) + "/t" + std::to_string(trace) +
-               "/s" + std::to_string(sharedCache);
+               "/s" + std::to_string(sharedCache) + "/p" +
+               std::to_string(pipeline);
     }
 };
 
@@ -69,6 +74,7 @@ optionsFor(const StressConfig &cfg)
     o.ranks = cfg.ranks;
     o.trace = cfg.trace;
     o.sharedCache = cfg.sharedCache;
+    o.pipeline = cfg.pipeline;
     return o;
 }
 
@@ -214,10 +220,12 @@ TEST(ConcurrencyStress, SmokeMixedSessionsBitwiseEqualSerialReference)
     // Tier-1 smoke: a fast subset covering both shared and isolated
     // sessions, trace on/off, and the sharded/multi-worker paths.
     const std::vector<StressConfig> configs = {
-        {1, 1, 1, 1}, // baseline serving configuration
-        {8, 2, 1, 1}, // workers x ranks over shared caches
-        {8, 1, 0, 1}, // shared caches without the trace layer
-        {1, 2, 1, 0}, // isolated sessions (shared-cache oracle)
+        {1, 1, 1, 1},    // baseline serving configuration
+        {8, 2, 1, 1},    // workers x ranks over shared caches
+        {8, 1, 0, 1},    // shared caches without the trace layer
+        {1, 2, 1, 0},    // isolated sessions (shared-cache oracle)
+        {8, 2, 1, 1, 1}, // pipelined flushes over the heavy config
+        {8, 1, 0, 1, 1}, // pipelined without the trace layer
     };
     runMatrix(configs, 4, 2);
 }
@@ -233,7 +241,9 @@ TEST(ConcurrencyStress, FullMatrixEightThreadsEightSessions)
         for (int ranks : {1, 2})
             for (int trace : {1, 0})
                 for (int shared : {1, 0})
-                    configs.push_back({workers, ranks, trace, shared});
+                    for (int pipeline : {0, 1})
+                        configs.push_back(
+                            {workers, ranks, trace, shared, pipeline});
     runMatrix(configs, 8, 8);
 }
 

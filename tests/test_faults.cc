@@ -188,8 +188,13 @@ TEST(Faults, InjectorOffByDefaultAndFaultStatsZero)
 TEST(Faults, KernelFaultSurfacesStructurallyAndRecoversBitwise)
 {
     for (int workers : {1, 8}) {
-        auto expect = cleanReference(realOpts(workers));
-        DiffuseRuntime rt(machine(), realOpts(workers));
+        // Pinned to the draining flush: the raw KernelFault code must
+        // surface inside runBody (pipelining defers and re-wraps it
+        // at the next synchronizing read — see test_scheduler.cc).
+        DiffuseOptions o = realOpts(workers);
+        o.pipeline = 0;
+        auto expect = cleanReference(o);
+        DiffuseRuntime rt(machine(), o);
         rt.low().faults().armOneShot(rt::FaultKind::Kernel, /*skip=*/4);
         bool threw = false;
         try {
@@ -251,8 +256,12 @@ TEST(Faults, CancellationPropagatesAlongHazardEdgesToTheRootCause)
 {
     // An unfused RAW chain: the faulted task's dependents must be
     // cancelled (never run) and every error points at the root cause.
+    // Pinned to the draining flush — the test asserts the root code
+    // at the flush site (the pipelined counterpart lives in
+    // test_scheduler.cc).
     DiffuseOptions o = realOpts();
     o.fusionEnabled = false;
+    o.pipeline = 0;
     DiffuseRuntime rt(machine(), o);
     Context ctx(rt);
     NDArray a = ctx.random(32, 0x1, -1.0, 1.0);
@@ -281,7 +290,12 @@ TEST(Faults, CancellationPropagatesAlongHazardEdgesToTheRootCause)
 
 TEST(Faults, PoisonedStoreReadSurfacesStorePoisoned)
 {
-    DiffuseRuntime rt(machine(), realOpts());
+    // Pins the draining flush: the fault must surface as KernelFault
+    // at the flush site (the pipelined surfacing — StorePoisoned at
+    // the next host read — is covered in test_scheduler.cc).
+    DiffuseOptions o = realOpts();
+    o.pipeline = 0;
+    DiffuseRuntime rt(machine(), o);
     Context ctx(rt);
     NDArray a = ctx.random(32, 0x1, -1.0, 1.0);
     (void)ctx.toHost(a); // materialize cleanly
@@ -321,8 +335,13 @@ TEST(Faults, TransientExchangeFaultsRetryBitwiseTransparently)
 
 TEST(Faults, PersistentExchangeFaultSurfacesAndRecovers)
 {
-    auto expect = cleanReference(realOpts(1, /*ranks=*/4));
-    DiffuseRuntime rt(machine(), realOpts(1, /*ranks=*/4));
+    // Pinned to the draining flush: the test asserts the raw
+    // ExchangeFault code at the failure site, which pipelining would
+    // defer and re-wrap at the next synchronizing read.
+    DiffuseOptions o = realOpts(1, /*ranks=*/4);
+    o.pipeline = 0;
+    auto expect = cleanReference(o);
+    DiffuseRuntime rt(machine(), o);
     // A burst longer than the retry bound: the copy fails for real.
     rt.low().faults().armOneShot(rt::FaultKind::Exchange, /*skip=*/0,
                                  /*burst=*/8);
@@ -554,6 +573,64 @@ TEST(Faults, WarnIsRateLimitedAndThreadSafe)
     std::uint64_t emitted = warnEmitCount() - emits0;
     EXPECT_GE(emitted, 8u);
     EXPECT_LE(emitted, 32u);
+}
+
+TEST(Faults, WarnRateLimiterIsSessionScoped)
+{
+    // The limiter key is (call site, session id): one session's storm
+    // at a site must not swallow another session's *first* warning
+    // from the same site.
+    for (int i = 0; i < 200; i++)
+        diffuse_warn_session(101, "session-scoped warn probe %d", i);
+    std::uint64_t mid = warnEmitCount();
+    diffuse_warn_session(102, "session-scoped warn probe %d", 0);
+    EXPECT_EQ(warnEmitCount() - mid, 1u)
+        << "a fresh session's first warning was rate-limited away";
+    // Session 101's own bucket stays thinned: 200 calls emitted the
+    // first 8 plus the power-of-two counts (16, 32, 64, 128) only.
+    std::uint64_t before = warnEmitCount();
+    diffuse_warn_session(101, "session-scoped warn probe %d", 0);
+    EXPECT_EQ(warnEmitCount() - before, 0u);
+}
+
+TEST(Faults, ResetAfterErrorRewindsFaultOpportunityCounters)
+{
+    // An ambient fault rate is a deterministic function of (seed,
+    // opportunity index). resetAfterError() must rewind the per-kind
+    // opportunity counters so a rerun of the same program replays the
+    // same fault schedule — without the rewind the second run starts
+    // mid-sequence and fails somewhere else (or not at all), making
+    // post-recovery behavior irreproducible.
+    const unsigned kernelOnly = 1u << unsigned(rt::FaultKind::Kernel);
+    bool exercised = false;
+    for (std::uint64_t seed = 1; seed <= 64 && !exercised; seed++) {
+        DiffuseRuntime rt(machine(), realOpts());
+        rt.low().faults().configure(seed, /*ratePermyriad=*/300,
+                                    kernelOnly);
+        // (code, root-cause task) identifies the fault point; stream
+        // event ids keep counting across the reset and so would
+        // differ between the runs even with an identical schedule.
+        auto faultPoint = [&]() -> std::string {
+            try {
+                (void)runBody(rt);
+            } catch (const DiffuseError &e) {
+                return std::to_string(int(e.code())) + ":" +
+                       e.error().originTask;
+            }
+            return "";
+        };
+        std::string first = faultPoint();
+        if (first.empty())
+            continue; // this seed never fires within the body
+        exercised = true;
+        rt.resetAfterError();
+        EXPECT_FALSE(rt.failed());
+        EXPECT_EQ(first, faultPoint())
+            << "seed " << seed
+            << ": rerun after reset diverged from the first run's "
+               "fault schedule";
+    }
+    ASSERT_TRUE(exercised) << "no seed in [1,64] fired a kernel fault";
 }
 
 // ---------------------------------------------------------------------
