@@ -1,0 +1,597 @@
+/**
+ * @file
+ * Horizontal cross-session batching of identical trace epochs
+ * (DIFFUSE_BATCH, kir::BatchCoalescer): when N sessions of one
+ * SharedContext concurrently replay the same trace epoch, their
+ * point-tasks coalesce into one combined work-stealing job with
+ * per-session buffer bindings. `DIFFUSE_BATCH=0` is the differential
+ * oracle: results, FusionStats/RuntimeStats/FaultStats and simulated
+ * schedules must be bitwise-identical either way.
+ *
+ *  - admission: barrier-synchronized sessions replaying one epoch
+ *    actually gather (occupancy >= 2) and stay bitwise equal to the
+ *    isolated unbatched reference, stats included;
+ *  - mismatch: sessions on different epochs — or the same code under
+ *    a different planning fingerprint — never gather;
+ *  - timeout: a partially-filled group runs after the window expires
+ *    and a zero window never blocks anybody;
+ *  - fault isolation: a kernel fault inside a combined job fails only
+ *    the faulting member; siblings in the same batch are
+ *    bitwise-unperturbed and the victim recovers in place;
+ *  - hygiene: announcements drain to zero once replays retire.
+ *
+ * gtest assertions are not thread-safe, so worker threads only
+ * compute; all comparisons happen on the main thread after join.
+ * This suite is a ThreadSanitizer target.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/context.h"
+#include "cunumeric/ndarray.h"
+#include "kernel/exec.h"
+
+namespace diffuse {
+namespace {
+
+using num::Context;
+using num::NDArray;
+
+rt::MachineConfig
+machine()
+{
+    return rt::MachineConfig::withGpus(4);
+}
+
+DiffuseOptions
+realOpts(int workers = 4, int batch = 1)
+{
+    DiffuseOptions o;
+    o.mode = rt::ExecutionMode::Real;
+    o.workers = workers;
+    o.batch = batch;
+    // This suite tests the batching of *shared trace replay* itself:
+    // pin both prerequisites on so the DIFFUSE_SHARED_CACHE=0 /
+    // DIFFUSE_TRACE=0 environment matrices (which disable them as
+    // oracles) cannot invert what is under test.
+    o.sharedCache = 1;
+    o.trace = 1;
+    return o;
+}
+
+std::vector<std::uint64_t>
+bits(const std::vector<double> &v)
+{
+    std::vector<std::uint64_t> out(v.size());
+    std::memcpy(out.data(), v.data(), v.size() * sizeof(double));
+    return out;
+}
+
+using Results = std::vector<std::vector<std::uint64_t>>;
+
+/**
+ * The serving body every client replays: axpy chains, an aliasing
+ * slice write, a reduction fed back as a coefficient, scalar
+ * read-backs — parallel-safe point tasks (np > 1) so the batched job
+ * actually shards, one flush per repetition so the trace cache
+ * captures then replays.
+ */
+Results
+runBody(DiffuseRuntime &rt, coord_t n = 48, int reps = 3)
+{
+    Context ctx(rt);
+    NDArray a = ctx.random(n, 0xA11CE, -1.0, 1.0);
+    NDArray b = ctx.random(n, 0xB0B, -1.0, 1.0);
+    for (int rep = 0; rep < reps; rep++) {
+        NDArray t = ctx.add(a, b);
+        ctx.assign(a, t);
+        NDArray alpha = ctx.dot(a, b);
+        NDArray u = ctx.axpyS(a, alpha, b);
+        ctx.assign(b, u);
+        ctx.assign(a.slice(1, n), b.slice(0, n - 1));
+        NDArray v = ctx.mulScalar(0.5, ctx.erf(a));
+        ctx.assign(a, v);
+        (void)ctx.value(ctx.sum(b));
+        rt.flushWindow();
+    }
+    return {bits(ctx.toHost(a)), bits(ctx.toHost(b))};
+}
+
+/** A structurally different window stream (distinct trace epochs). */
+Results
+runOtherBody(DiffuseRuntime &rt, int reps = 3)
+{
+    Context ctx(rt);
+    const coord_t n = 48;
+    NDArray a = ctx.random(n, 0xCAFE, -1.0, 1.0);
+    NDArray b = ctx.random(n, 0xD00D, -1.0, 1.0);
+    for (int rep = 0; rep < reps; rep++) {
+        NDArray t = ctx.mul(a, b);
+        ctx.assign(b, t);
+        NDArray u = ctx.addScalar(ctx.exp(ctx.mulScalar(-1.0, b)), 1.0);
+        ctx.assign(a, u);
+        (void)ctx.value(ctx.sum(a));
+        rt.flushWindow();
+    }
+    return {bits(ctx.toHost(a)), bits(ctx.toHost(b))};
+}
+
+/** The per-session numbers that must match the unbatched oracle
+ * bitwise (the capture/replay split may differ between the first and
+ * later sessions of a warm context, so the trace counters stay out). */
+struct SessionNumbers
+{
+    double simTime = 0.0;
+    double busyTime = 0.0;
+    std::uint64_t tasksSharded = 0;
+    std::uint64_t tasksSubmitted = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t groupsLaunched = 0;
+    std::uint64_t fusedGroups = 0;
+    std::uint64_t storesPoisoned = 0;
+
+    bool operator==(const SessionNumbers &) const = default;
+};
+
+SessionNumbers
+numbersOf(DiffuseRuntime &rt)
+{
+    SessionNumbers n;
+    n.simTime = rt.runtimeStats().simTime;
+    n.busyTime = rt.runtimeStats().busyTime;
+    n.tasksSharded = rt.runtimeStats().tasksSharded;
+    n.tasksSubmitted = rt.fusionStats().tasksSubmitted;
+    n.flushes = rt.fusionStats().flushes;
+    n.groupsLaunched = rt.fusionStats().groupsLaunched;
+    n.fusedGroups = rt.fusionStats().fusedGroups;
+    n.storesPoisoned = rt.low().faultStats().storesPoisoned;
+    return n;
+}
+
+/** SharedContext whose coalescer was built with a generous gather
+ * window, so barrier-released sessions reliably find each other. */
+std::shared_ptr<SharedContext>
+contextWithWindowUs(const char *window_us)
+{
+    setenv("DIFFUSE_BATCH_WINDOW_US", window_us, 1);
+    auto ctx = SharedContext::create(machine());
+    unsetenv("DIFFUSE_BATCH_WINDOW_US");
+    return ctx;
+}
+
+// ---------------------------------------------------------------------
+// Coalescer unit surface: admission, timeout, faults, hygiene
+// ---------------------------------------------------------------------
+
+TEST(Batching, CoalescerMergesAnnouncedMembersIntoOneJob)
+{
+    auto pool = std::make_shared<kir::WorkerPool>(4);
+    kir::BatchCoalescer co(pool, /*window_us=*/5'000'000);
+
+    // Nobody gathers while a single session holds the epoch.
+    co.announce(7, /*session=*/1);
+    EXPECT_FALSE(co.shouldGather(7));
+    co.announce(7, /*session=*/2);
+    EXPECT_TRUE(co.shouldGather(7));
+    EXPECT_EQ(co.activeReplayers(7), 2u);
+
+    std::atomic<int> ran_a{0};
+    std::atomic<int> ran_b{0};
+    std::exception_ptr err_b;
+    std::thread member_b([&] {
+        kir::BatchWork w;
+        w.items = 8;
+        w.run = [&](int, coord_t) { ran_b.fetch_add(1); };
+        err_b = co.joinAndRun(7, /*index=*/0, /*session=*/2, 4,
+                              std::move(w));
+    });
+    kir::BatchWork w;
+    w.items = 8;
+    w.run = [&](int, coord_t) { ran_a.fetch_add(1); };
+    std::exception_ptr err_a =
+        co.joinAndRun(7, 0, /*session=*/1, 4, std::move(w));
+    member_b.join();
+
+    EXPECT_EQ(err_a, nullptr);
+    EXPECT_EQ(err_b, nullptr);
+    EXPECT_EQ(ran_a.load(), 8);
+    EXPECT_EQ(ran_b.load(), 8);
+    kir::BatchCoalescer::Stats s = co.stats();
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.batchedTasks, 2u);
+    EXPECT_EQ(s.maxOccupancy, 2u);
+    EXPECT_EQ(s.closedByCount, 1u);
+    EXPECT_EQ(s.timeouts, 0u);
+    EXPECT_EQ(s.handoffsSaved, 1u);
+
+    co.retract(7, 1);
+    EXPECT_FALSE(co.shouldGather(7));
+    co.retract(7, 2);
+    EXPECT_EQ(co.activeReplayers(7), 0u);
+}
+
+TEST(Batching, CoalescerWindowTimeoutRunsPartialBatch)
+{
+    auto pool = std::make_shared<kir::WorkerPool>(2);
+    kir::BatchCoalescer co(pool, /*window_us=*/1000);
+
+    // A second replayer is announced but never shows up at the group:
+    // the leader must run partially filled after the window, not hang.
+    co.announce(9, 1);
+    co.announce(9, 2);
+    std::atomic<int> ran{0};
+    kir::BatchWork w;
+    w.items = 4;
+    w.run = [&](int, coord_t) { ran.fetch_add(1); };
+    std::exception_ptr err =
+        co.joinAndRun(9, 0, /*session=*/1, 2, std::move(w));
+
+    EXPECT_EQ(err, nullptr);
+    EXPECT_EQ(ran.load(), 4);
+    kir::BatchCoalescer::Stats s = co.stats();
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.maxOccupancy, 1u);
+    EXPECT_EQ(s.timeouts, 1u);
+    EXPECT_EQ(s.handoffsSaved, 0u);
+
+    co.retract(9, 1);
+    co.retract(9, 2);
+    EXPECT_EQ(co.activeReplayers(9), 0u);
+}
+
+TEST(Batching, CoalescerZeroWindowNeverBlocks)
+{
+    auto pool = std::make_shared<kir::WorkerPool>(2);
+    kir::BatchCoalescer co(pool, /*window_us=*/0);
+    co.announce(3, 1);
+    co.announce(3, 2);
+    std::atomic<int> ran{0};
+    kir::BatchWork w;
+    w.items = 4;
+    w.run = [&](int, coord_t) { ran.fetch_add(1); };
+    // Would deadlock the test on regression; with a zero window the
+    // leader closes the group immediately.
+    std::exception_ptr err =
+        co.joinAndRun(3, 0, /*session=*/1, 2, std::move(w));
+    EXPECT_EQ(err, nullptr);
+    EXPECT_EQ(ran.load(), 4);
+    EXPECT_EQ(co.stats().batches, 1u);
+}
+
+TEST(Batching, CoalescerIsolatesOneMembersFaultFromItsSiblings)
+{
+    auto pool = std::make_shared<kir::WorkerPool>(4);
+    kir::BatchCoalescer co(pool, /*window_us=*/5'000'000);
+    co.announce(11, 1);
+    co.announce(11, 2);
+
+    std::atomic<int> ran_victim{0};
+    std::atomic<int> ran_sibling{0};
+    std::exception_ptr err_sibling;
+    std::thread sibling([&] {
+        kir::BatchWork w;
+        w.items = 6;
+        w.run = [&](int, coord_t) { ran_sibling.fetch_add(1); };
+        err_sibling =
+            co.joinAndRun(11, 0, /*session=*/2, 4, std::move(w));
+    });
+    kir::BatchWork w;
+    w.items = 6;
+    w.run = [&](int, coord_t item) {
+        if (item == 2)
+            throw DiffuseError(makeError(ErrorCode::KernelFault,
+                                         "injected kernel fault"));
+        ran_victim.fetch_add(1);
+    };
+    std::exception_ptr err_victim =
+        co.joinAndRun(11, 0, /*session=*/1, 4, std::move(w));
+    sibling.join();
+
+    // The victim gets exactly its own error back; the sibling member
+    // of the *same combined job* ran every item and got none.
+    ASSERT_NE(err_victim, nullptr);
+    try {
+        std::rethrow_exception(err_victim);
+    } catch (const DiffuseError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::KernelFault);
+    }
+    EXPECT_EQ(err_sibling, nullptr);
+    EXPECT_EQ(ran_sibling.load(), 6);
+    // Item 2 threw before counting; items claimed after the failure
+    // latch are skipped, so the victim completed at most 5.
+    EXPECT_LT(ran_victim.load(), 6);
+
+    co.retract(11, 1);
+    co.retract(11, 2);
+    EXPECT_EQ(co.activeReplayers(11), 0u);
+}
+
+TEST(Batching, CoalescerKeepsDistinctEpochsAndIndicesApart)
+{
+    auto pool = std::make_shared<kir::WorkerPool>(2);
+    kir::BatchCoalescer co(pool, /*window_us=*/0);
+    co.announce(21, 1);
+    co.announce(22, 2);
+    // Census is per epoch: each session is alone on its own epoch.
+    EXPECT_FALSE(co.shouldGather(21));
+    EXPECT_FALSE(co.shouldGather(22));
+
+    // Same epoch, different submission indices: separate groups.
+    co.announce(21, 3);
+    std::atomic<int> ran{0};
+    for (std::int32_t index : {0, 1}) {
+        kir::BatchWork w;
+        w.items = 2;
+        w.run = [&](int, coord_t) { ran.fetch_add(1); };
+        EXPECT_EQ(co.joinAndRun(21, index, /*session=*/1, 2,
+                                std::move(w)),
+                  nullptr);
+    }
+    EXPECT_EQ(ran.load(), 4);
+    kir::BatchCoalescer::Stats s = co.stats();
+    EXPECT_EQ(s.batches, 2u);
+    EXPECT_EQ(s.maxOccupancy, 1u);
+    EXPECT_EQ(s.handoffsSaved, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Differential lockdown: DIFFUSE_BATCH=0 is the oracle
+// ---------------------------------------------------------------------
+
+TEST(Batching, BatchedConcurrentReplayBitwiseEqualsUnbatchedOracle)
+{
+    const int kSessions = 4;
+    // Whether barrier-released threads actually overlap on an epoch
+    // in a given round is up to the OS scheduler (on a single
+    // hardware thread, only preemption interleaves them): make each
+    // replay pass long enough to span scheduling quanta and run
+    // rounds until a combined job held two or more sessions (every
+    // round's results are asserted either way), with a generous cap.
+    const coord_t kPoints = 1 << 16;
+    const int kMaxRounds = 50;
+
+    auto ctx = contextWithWindowUs("200000");
+    std::vector<std::unique_ptr<DiffuseRuntime>> sessions;
+    std::vector<Results> warm(static_cast<std::size_t>(kSessions));
+    for (int i = 0; i < kSessions; i++) {
+        sessions.push_back(ctx->createSession(realOpts()));
+        // Warm sequentially: session 0 captures the epochs, the rest
+        // already replay — every concurrent round below is pure replay.
+        warm[std::size_t(i)] =
+            runBody(*sessions[std::size_t(i)], kPoints);
+    }
+
+    // Barrier-released concurrent replay rounds: every session walks
+    // the same epoch at the same time, so the coalescer can gather.
+    std::barrier sync(kSessions + 1);
+    std::atomic<bool> stop{false};
+    std::vector<std::vector<Results>> got(
+        static_cast<std::size_t>(kSessions));
+    std::vector<std::thread> threads;
+    threads.reserve(std::size_t(kSessions));
+    for (int i = 0; i < kSessions; i++) {
+        threads.emplace_back([&, i] {
+            for (;;) {
+                sync.arrive_and_wait(); // round start
+                if (stop.load(std::memory_order_acquire))
+                    return;
+                got[std::size_t(i)].push_back(
+                    runBody(*sessions[std::size_t(i)], kPoints));
+                sync.arrive_and_wait(); // round done
+            }
+        });
+    }
+    int rounds = 0;
+    while (rounds < kMaxRounds) {
+        sync.arrive_and_wait(); // release the round
+        sync.arrive_and_wait(); // wait for it to finish
+        rounds++;
+        if (ctx->batcher()->stats().maxOccupancy >= 2)
+            break;
+    }
+    stop.store(true, std::memory_order_release);
+    sync.arrive_and_wait();
+    for (std::thread &t : threads)
+        t.join();
+
+    // Isolated, unbatched oracle running the identical lifetime
+    // (one warm body + `rounds` replay bodies).
+    Results expect;
+    SessionNumbers expect_numbers;
+    {
+        DiffuseOptions o = realOpts(/*workers=*/4, /*batch=*/0);
+        o.sharedCache = 0;
+        DiffuseRuntime iso(machine(), o);
+        expect = runBody(iso, kPoints);
+        for (int round = 0; round < rounds; round++)
+            EXPECT_EQ(runBody(iso, kPoints), expect);
+        expect_numbers = numbersOf(iso);
+    }
+    EXPECT_GT(expect_numbers.tasksSharded, 0u);
+
+    // Bitwise results and per-session stats attribution: every
+    // session's accumulated schedule clocks, sharding counters and
+    // fusion accounting equal the isolated unbatched oracle's.
+    for (int i = 0; i < kSessions; i++) {
+        EXPECT_EQ(warm[std::size_t(i)], expect) << "session " << i;
+        ASSERT_EQ(got[std::size_t(i)].size(),
+                  static_cast<std::size_t>(rounds));
+        for (int round = 0; round < rounds; round++)
+            ASSERT_EQ(got[std::size_t(i)][std::size_t(round)], expect)
+                << "session " << i << " round " << round;
+        EXPECT_EQ(numbersOf(*sessions[std::size_t(i)]), expect_numbers)
+            << "session " << i;
+    }
+
+    // The batches actually formed: at least one combined job held two
+    // or more sessions, and the amortization accounting adds up.
+    kir::BatchCoalescer::Stats s = ctx->batcher()->stats();
+    EXPECT_GT(s.batches, 0u);
+    EXPECT_GE(s.maxOccupancy, 2u) << "no gather in " << rounds
+                                  << " rounds";
+    EXPECT_EQ(s.batchedTasks, s.batches + s.handoffsSaved);
+    EXPECT_GT(s.handoffsSaved, 0u);
+}
+
+TEST(Batching, SoloBatchedSessionSkipsTheCoalescerEntirely)
+{
+    Results expect;
+    {
+        DiffuseOptions o = realOpts(/*workers=*/4, /*batch=*/0);
+        o.sharedCache = 0;
+        DiffuseRuntime iso(machine(), o);
+        expect = runBody(iso);
+    }
+    // A batched session with no concurrent sibling on its epoch takes
+    // the unbatched fast path: bitwise-identical results and zero
+    // combined jobs — the gather window is never paid.
+    auto ctx = contextWithWindowUs("200000");
+    auto solo = ctx->createSession(realOpts());
+    EXPECT_EQ(runBody(*solo), expect);
+    EXPECT_EQ(runBody(*solo), expect);
+    EXPECT_EQ(ctx->batcher()->stats().batches, 0u);
+}
+
+TEST(Batching, MismatchedSessionsNeverGather)
+{
+    Results expect_a;
+    Results expect_b;
+    Results expect_w2;
+    {
+        DiffuseOptions o = realOpts(/*workers=*/4, /*batch=*/0);
+        o.sharedCache = 0;
+        DiffuseRuntime iso(machine(), o);
+        expect_a = runBody(iso);
+    }
+    {
+        DiffuseOptions o = realOpts(/*workers=*/4, /*batch=*/0);
+        o.sharedCache = 0;
+        DiffuseRuntime iso(machine(), o);
+        expect_b = runOtherBody(iso);
+    }
+    {
+        DiffuseOptions o = realOpts(/*workers=*/2, /*batch=*/0);
+        o.sharedCache = 0;
+        DiffuseRuntime iso(machine(), o);
+        expect_w2 = runBody(iso);
+    }
+
+    // Three concurrent batched sessions that must never merge: a
+    // different window stream is a different epoch, and the same
+    // window stream under a different planning fingerprint (worker
+    // count) is a different epoch too.
+    auto ctx = contextWithWindowUs("200000");
+    auto s_a = ctx->createSession(realOpts(/*workers=*/4));
+    auto s_b = ctx->createSession(realOpts(/*workers=*/4));
+    auto s_w2 = ctx->createSession(realOpts(/*workers=*/2));
+    EXPECT_EQ(runBody(*s_a), expect_a);
+    EXPECT_EQ(runOtherBody(*s_b), expect_b);
+    EXPECT_EQ(runBody(*s_w2), expect_w2);
+
+    std::barrier sync(3);
+    Results got_a;
+    Results got_b;
+    Results got_w2;
+    std::thread t_a([&] {
+        sync.arrive_and_wait();
+        got_a = runBody(*s_a);
+    });
+    std::thread t_b([&] {
+        sync.arrive_and_wait();
+        got_b = runOtherBody(*s_b);
+    });
+    std::thread t_w2([&] {
+        sync.arrive_and_wait();
+        got_w2 = runBody(*s_w2);
+    });
+    t_a.join();
+    t_b.join();
+    t_w2.join();
+
+    EXPECT_EQ(got_a, expect_a);
+    EXPECT_EQ(got_b, expect_b);
+    EXPECT_EQ(got_w2, expect_w2);
+    // Every session was the sole replayer of its own epoch, so the
+    // coalescer never formed a single combined job.
+    EXPECT_EQ(ctx->batcher()->stats().batches, 0u);
+    EXPECT_EQ(ctx->batcher()->stats().maxOccupancy, 0u);
+}
+
+TEST(Batching, FaultInsideABatchFailsOnlyTheFaultingSession)
+{
+    const int kSessions = 3;
+    Results expect;
+    {
+        DiffuseOptions o = realOpts(/*workers=*/4, /*batch=*/0);
+        o.sharedCache = 0;
+        DiffuseRuntime iso(machine(), o);
+        expect = runBody(iso);
+        EXPECT_EQ(runBody(iso), expect);
+    }
+
+    auto ctx = contextWithWindowUs("200000");
+    std::vector<std::unique_ptr<DiffuseRuntime>> sessions;
+    for (int i = 0; i < kSessions; i++) {
+        sessions.push_back(ctx->createSession(realOpts()));
+        EXPECT_EQ(runBody(*sessions[std::size_t(i)]), expect);
+    }
+
+    // Session 0 takes an injected kernel fault mid-replay while its
+    // point-tasks ride combined jobs with two healthy siblings.
+    sessions[0]->low().faults().armOneShot(rt::FaultKind::Kernel,
+                                           /*skip=*/6);
+    std::barrier sync(kSessions);
+    std::vector<Results> got(static_cast<std::size_t>(kSessions));
+    std::atomic<bool> victim_threw{false};
+    std::vector<std::thread> threads;
+    threads.reserve(std::size_t(kSessions));
+    for (int i = 0; i < kSessions; i++) {
+        threads.emplace_back([&, i] {
+            sync.arrive_and_wait();
+            try {
+                got[std::size_t(i)] =
+                    runBody(*sessions[std::size_t(i)]);
+            } catch (const DiffuseError &) {
+                if (i == 0)
+                    victim_threw.store(true);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    // Only the victim failed; its stores poisoned, nobody else's did,
+    // and the siblings' batched results stayed bitwise-identical.
+    EXPECT_TRUE(victim_threw.load());
+    EXPECT_TRUE(sessions[0]->failed());
+    EXPECT_GT(sessions[0]->low().faultStats().storesPoisoned, 0u);
+    for (int i = 1; i < kSessions; i++) {
+        EXPECT_FALSE(sessions[std::size_t(i)]->failed()) << i;
+        EXPECT_EQ(sessions[std::size_t(i)]->low()
+                      .faultStats()
+                      .storesPoisoned,
+                  0u)
+            << i;
+        EXPECT_EQ(got[std::size_t(i)], expect) << i;
+    }
+
+    // The victim recovers in place and replays cleanly — and the
+    // shared epoch it faulted out of is still good for everyone.
+    sessions[0]->resetAfterError();
+    EXPECT_EQ(runBody(*sessions[0]), expect);
+    for (int i = 1; i < kSessions; i++)
+        EXPECT_EQ(runBody(*sessions[std::size_t(i)]), expect);
+}
+
+} // namespace
+} // namespace diffuse

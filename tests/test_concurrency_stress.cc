@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -54,6 +55,10 @@ struct StressConfig
      * window against submission of the next, on top of the cache
      * races. 0 is the draining oracle. */
     int pipeline = 0;
+    /** Horizontal batching: concurrent sessions replaying the same
+     * trace epoch coalesce their point-tasks into one combined pool
+     * job. 0 is the unbatched oracle. */
+    int batch = 0;
 
     std::string
     label() const
@@ -61,7 +66,7 @@ struct StressConfig
         return "w" + std::to_string(workers) + "/r" +
                std::to_string(ranks) + "/t" + std::to_string(trace) +
                "/s" + std::to_string(sharedCache) + "/p" +
-               std::to_string(pipeline);
+               std::to_string(pipeline) + "/b" + std::to_string(batch);
     }
 };
 
@@ -75,6 +80,7 @@ optionsFor(const StressConfig &cfg)
     o.trace = cfg.trace;
     o.sharedCache = cfg.sharedCache;
     o.pipeline = cfg.pipeline;
+    o.batch = cfg.batch;
     return o;
 }
 
@@ -151,12 +157,34 @@ runStressBody(DiffuseRuntime &rt, std::uint64_t seed)
     return {bits(ctx.toHost(a)), bits(ctx.toHost(b))};
 }
 
+/**
+ * Which of the three base seeds a (thread, session) pair draws.
+ * Thread and session are mixed through a splitmix-style finalizer so
+ * distinct pairs land on genuinely distinct DAG mixes: the old
+ * `(thread + session) % 3` collapsed every anti-diagonal of the grid
+ * onto one seed, so e.g. (t=0,m=1) and (t=1,m=0) always raced the
+ * *same* recipe and two of the three mixes went under-exercised on
+ * small grids. Both seedFor() and the expected-reference lookup in
+ * runMatrix() must route through this one function.
+ */
+int
+seedIndexFor(int thread, int session)
+{
+    std::uint64_t x = std::uint64_t(thread) * 0x9E3779B97F4A7C15ULL +
+                      std::uint64_t(session) * 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 31;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 29;
+    return int(x % 3);
+}
+
 std::uint64_t
 seedFor(int thread, int session)
 {
     // Few distinct seeds, repeated across threads: concurrent
     // sessions race on identical cache keys.
-    return 0x57E55ULL + std::uint64_t((thread + session) % 3) * 7919;
+    return 0x57E55ULL +
+           std::uint64_t(seedIndexFor(thread, session)) * 7919;
 }
 
 void
@@ -197,7 +225,7 @@ runMatrix(const std::vector<StressConfig> &configs, int threads,
 
         for (int t = 0; t < threads; t++) {
             for (int m = 0; m < sessions_per_thread; m++) {
-                int s = (t + m) % 3;
+                int s = seedIndexFor(t, m);
                 ASSERT_EQ(got[std::size_t(t)][std::size_t(m)],
                           expect[std::size_t(s)])
                     << "config " << cfg.label() << " thread " << t
@@ -215,17 +243,55 @@ runMatrix(const std::vector<StressConfig> &configs, int threads,
     }
 }
 
+TEST(ConcurrencyStress, SeedMixerBreaksAntiDiagonalCollisions)
+{
+    // Regression for the original `(thread + session) % 3` seeding:
+    // every pair with an equal thread+session sum drew the same seed,
+    // so small grids exercised a biased subset of the DAG mixes. The
+    // mixer must (a) split at least one equal-sum pair onto different
+    // seeds and (b) cover all three base seeds, on both the tier-1
+    // smoke grid (4x2) and the full-matrix grid (8x8).
+    for (auto [threads, sessions] : {std::pair{4, 2}, std::pair{8, 8}}) {
+        bool split_anti_diagonal = false;
+        int covered[3] = {0, 0, 0};
+        for (int t = 0; t < threads; t++)
+            for (int m = 0; m < sessions; m++) {
+                covered[seedIndexFor(t, m)]++;
+                for (int t2 = 0; t2 < threads; t2++)
+                    for (int m2 = 0; m2 < sessions; m2++)
+                        if ((t != t2 || m != m2) && t + m == t2 + m2 &&
+                            seedIndexFor(t, m) != seedIndexFor(t2, m2))
+                            split_anti_diagonal = true;
+            }
+        EXPECT_TRUE(split_anti_diagonal)
+            << threads << "x" << sessions;
+        for (int s = 0; s < 3; s++)
+            EXPECT_GT(covered[s], 0)
+                << "seed " << s << " unused on " << threads << "x"
+                << sessions;
+        // And seedFor stays a pure function of the index.
+        EXPECT_EQ(seedFor(threads - 1, sessions - 1),
+                  0x57E55ULL +
+                      std::uint64_t(seedIndexFor(threads - 1,
+                                                 sessions - 1)) *
+                          7919);
+    }
+}
+
 TEST(ConcurrencyStress, SmokeMixedSessionsBitwiseEqualSerialReference)
 {
     // Tier-1 smoke: a fast subset covering both shared and isolated
-    // sessions, trace on/off, and the sharded/multi-worker paths.
+    // sessions, trace on/off, the sharded/multi-worker paths, and
+    // horizontally batched replay.
     const std::vector<StressConfig> configs = {
-        {1, 1, 1, 1},    // baseline serving configuration
-        {8, 2, 1, 1},    // workers x ranks over shared caches
-        {8, 1, 0, 1},    // shared caches without the trace layer
-        {1, 2, 1, 0},    // isolated sessions (shared-cache oracle)
-        {8, 2, 1, 1, 1}, // pipelined flushes over the heavy config
-        {8, 1, 0, 1, 1}, // pipelined without the trace layer
+        {1, 1, 1, 1},       // baseline serving configuration
+        {8, 2, 1, 1},       // workers x ranks over shared caches
+        {8, 1, 0, 1},       // shared caches without the trace layer
+        {1, 2, 1, 0},       // isolated sessions (shared-cache oracle)
+        {8, 2, 1, 1, 1},    // pipelined flushes over the heavy config
+        {8, 1, 0, 1, 1},    // pipelined without the trace layer
+        {8, 1, 1, 1, 0, 1}, // batched replay (racing the coalescer)
+        {8, 2, 1, 1, 1, 1}, // batched + pipelined over workers x ranks
     };
     runMatrix(configs, 4, 2);
 }
@@ -242,8 +308,16 @@ TEST(ConcurrencyStress, FullMatrixEightThreadsEightSessions)
             for (int trace : {1, 0})
                 for (int shared : {1, 0})
                     for (int pipeline : {0, 1})
-                        configs.push_back(
-                            {workers, ranks, trace, shared, pipeline});
+                        for (int batch : {0, 1}) {
+                            // Isolated sessions own private contexts,
+                            // so their coalescer never gathers — skip
+                            // the redundant batch dimension there.
+                            if (batch == 1 && shared == 0)
+                                continue;
+                            configs.push_back({workers, ranks, trace,
+                                               shared, pipeline,
+                                               batch});
+                        }
     runMatrix(configs, 8, 8);
 }
 

@@ -22,6 +22,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <barrier>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -413,6 +415,96 @@ TEST(Faults, SessionFailureLeavesSiblingsAndSharedCachesBitwiseIntact)
     // And the victim itself recovers in place.
     victim->resetAfterError();
     EXPECT_EQ(runBody(*victim), expect);
+}
+
+TEST(Faults, BatchedPipelinedResetLeavesInFlightSiblingsIntact)
+{
+    // The hardest failure-domain configuration: pipelined flushes
+    // (retirement of one window racing submission of the next) on top
+    // of horizontal batching (siblings replaying the same epoch may
+    // share one combined pool job). A kernel fault on the victim — and
+    // the victim's resetAfterError(), issued while the siblings' work
+    // is still in flight — must not perturb the siblings at all, and
+    // the recovered victim must rerun bitwise-clean.
+    //
+    // gtest assertions are not thread-safe: threads only compute and
+    // record into atomics; all comparisons happen on main after join.
+    DiffuseOptions o = realOpts(/*workers=*/4);
+    o.pipeline = 1;
+    o.batch = 1;
+    DiffuseOptions ref = o;
+    ref.batch = 0;
+    ref.pipeline = 0; // the draining, unbatched oracle
+    auto expect = cleanReference(ref);
+
+    // Generous gather window (read once at context construction) so
+    // barrier-released siblings can actually coalesce.
+    setenv("DIFFUSE_BATCH_WINDOW_US", "200000", 1);
+    auto ctx = SharedContext::create(machine());
+    unsetenv("DIFFUSE_BATCH_WINDOW_US");
+
+    auto victim = ctx->createSession(o);
+    auto sib_a = ctx->createSession(o);
+    auto sib_b = ctx->createSession(o);
+
+    // Warm the trace cache so the concurrent round replays (batching
+    // only coalesces replayed epochs).
+    EXPECT_EQ(runBody(*victim), expect);
+    EXPECT_EQ(runBody(*sib_a), expect);
+    EXPECT_EQ(runBody(*sib_b), expect);
+
+    victim->low().faults().armOneShot(rt::FaultKind::Kernel, /*skip=*/6);
+
+    std::barrier sync(3);
+    std::atomic<bool> victim_threw{false};
+    std::atomic<bool> victim_failed_before_reset{false};
+    std::vector<std::vector<std::uint64_t>> victim_rerun;
+    std::vector<std::vector<std::uint64_t>> got_a;
+    std::vector<std::vector<std::uint64_t>> got_b;
+    std::thread tv([&] {
+        sync.arrive_and_wait();
+        try {
+            (void)runBody(*victim);
+        } catch (const DiffuseError &) {
+            victim_threw.store(true);
+        }
+        victim_failed_before_reset.store(victim->failed());
+        // Reset immediately — concurrent with whatever the siblings
+        // still have in flight — and rerun clean in place.
+        victim->resetAfterError();
+        victim_rerun = runBody(*victim);
+    });
+    std::thread ta([&] {
+        sync.arrive_and_wait();
+        got_a = runBody(*sib_a);
+    });
+    std::thread tb([&] {
+        sync.arrive_and_wait();
+        got_b = runBody(*sib_b);
+    });
+    tv.join();
+    ta.join();
+    tb.join();
+
+    EXPECT_TRUE(victim_threw.load());
+    EXPECT_TRUE(victim_failed_before_reset.load());
+    EXPECT_FALSE(victim->failed());
+    EXPECT_EQ(victim_rerun, expect);
+
+    EXPECT_EQ(got_a, expect);
+    EXPECT_EQ(got_b, expect);
+    EXPECT_FALSE(sib_a->failed());
+    EXPECT_FALSE(sib_b->failed());
+    EXPECT_EQ(sib_a->low().faultStats().storesPoisoned, 0u);
+    EXPECT_EQ(sib_b->low().faultStats().storesPoisoned, 0u);
+
+    // The shared caches stayed clean through fault + reset: a fresh
+    // session compiles nothing and replays the surviving epochs.
+    int plans = ctx->compiler().stats().plansLowered;
+    auto after = ctx->createSession(o);
+    EXPECT_EQ(runBody(*after), expect);
+    EXPECT_EQ(ctx->compiler().stats().plansLowered, plans);
+    EXPECT_GT(after->fusionStats().traceEpochsReplayed, 0u);
 }
 
 TEST(Faults, MemoizerNeverCachesFailedBuildsAndNeverDeadlocks)

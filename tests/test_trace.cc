@@ -10,9 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "core/trace.h"
 #include "cunumeric/ndarray.h"
 #include "solvers/solvers.h"
 #include "sparse/csr.h"
@@ -377,6 +381,87 @@ TEST(TraceReplay, WindowGrowthCountSurvivesStatsReset)
     }
     EXPECT_GT(rt.fusionStats().traceEpochsReplayed, 0u);
     EXPECT_EQ(rt.fusionStats().windowGrowths, 0u);
+}
+
+/** A minimal storable epoch: one fixed code stream, one slot whose
+ * state signature distinguishes the variant. */
+std::shared_ptr<TraceEpoch>
+epochWithSig(std::uint64_t sig, std::uint64_t replays = 0)
+{
+    auto e = std::make_shared<TraceEpoch>();
+    e->codes = {"variant-cap-first-code", "variant-cap-body"};
+    e->slotSigs = {sig};
+    e->replays.store(replays, std::memory_order_relaxed);
+    return e;
+}
+
+std::vector<std::uint64_t>
+cachedSigs(const TraceCache &cache)
+{
+    std::vector<std::shared_ptr<TraceEpoch>> snap;
+    EXPECT_TRUE(cache.candidates("variant-cap-first-code", &snap));
+    std::vector<std::uint64_t> sigs;
+    for (const auto &e : snap)
+        sigs.push_back(e->slotSigs.front());
+    return sigs;
+}
+
+TEST(TraceReplay, VariantCapEvictsColdestAndEvicteeStaysReplayable)
+{
+    // The kTraceMaxVariants boundary: a 5th same-code /
+    // different-signature capture must *replace the coldest* variant
+    // (fewest replays) instead of appending — a stream whose entry
+    // state drifts every repetition must not swallow the whole cache —
+    // and the replacement must not consume a cache entry.
+    ASSERT_EQ(kTraceMaxVariants, 4u);
+    TraceCache cache;
+    std::vector<std::shared_ptr<TraceEpoch>> held;
+    for (std::uint64_t sig = 1; sig <= kTraceMaxVariants; sig++) {
+        // Warmth grows with the signature: sig 1 is the coldest.
+        auto e = epochWithSig(sig, /*replays=*/sig * 10);
+        held.push_back(e);
+        ASSERT_TRUE(cache.store(e));
+        EXPECT_GT(e->epochId, 0u);
+    }
+    EXPECT_EQ(cache.entries(), kTraceMaxVariants);
+    EXPECT_EQ(cachedSigs(cache),
+              (std::vector<std::uint64_t>{1, 2, 3, 4}));
+
+    // The 5th variant lands, the coldest (sig 1) is gone, and the
+    // cache did not grow.
+    ASSERT_TRUE(cache.store(epochWithSig(99)));
+    EXPECT_EQ(cache.entries(), kTraceMaxVariants);
+    EXPECT_EQ(cachedSigs(cache),
+              (std::vector<std::uint64_t>{99, 2, 3, 4}));
+
+    // A session pinned to the evicted variant (mid-speculation
+    // shared_ptr) still holds an intact, replayable epoch: eviction
+    // dropped only the cache's reference.
+    EXPECT_EQ(held[0]->slotSigs, (std::vector<std::uint64_t>{1}));
+    EXPECT_EQ(held[0]->codes.front(), "variant-cap-first-code");
+    EXPECT_EQ(held[0]->replays.load(std::memory_order_relaxed), 10u);
+
+    // ...and when that session's replay aborts (its variant no longer
+    // cached), its re-capture is admitted cleanly at the cap: it
+    // replaces the now-coldest variant (sig 99, zero replays) under a
+    // fresh epoch identity — never a stale id, so horizontal batching
+    // can never pair it with holders of the evicted object.
+    auto recaptured = epochWithSig(1, /*replays=*/5);
+    ASSERT_TRUE(cache.store(recaptured));
+    EXPECT_EQ(cache.entries(), kTraceMaxVariants);
+    EXPECT_EQ(cachedSigs(cache),
+              (std::vector<std::uint64_t>{1, 2, 3, 4}));
+    EXPECT_GT(recaptured->epochId, held.back()->epochId);
+    EXPECT_NE(recaptured->epochId, held[0]->epochId);
+
+    // A true duplicate (codes AND signature) is a refresh, not a
+    // variant: replaced in place, replay count carried over.
+    auto refresh = epochWithSig(3);
+    ASSERT_TRUE(cache.store(refresh));
+    EXPECT_EQ(cache.entries(), kTraceMaxVariants);
+    EXPECT_EQ(refresh->replays.load(std::memory_order_relaxed), 30u);
+    EXPECT_EQ(cachedSigs(cache),
+              (std::vector<std::uint64_t>{1, 2, 3, 4}));
 }
 
 TEST(TraceReplay, ShardedRanksReplayBitwise)
