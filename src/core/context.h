@@ -47,6 +47,7 @@
 
 #include "core/memo.h"
 #include "core/trace.h"
+#include "kernel/codegen.h"
 #include "kernel/compiler.h"
 #include "kernel/exec.h"
 #include "runtime/machine.h"
@@ -106,6 +107,13 @@ class SharedContext
     kir::JitCompiler &compiler() { return compiler_; }
     Memoizer &memo() { return memo_; }
     TraceCache &traceCache() { return traceCache_; }
+    /**
+     * Native JIT backend (src/kernel/codegen.h): compiles plans to
+     * shared objects and persists artifacts across processes
+     * (DIFFUSE_CACHE_DIR). Sessions consult it only when they enable
+     * the JIT (DiffuseOptions::jit / DIFFUSE_JIT).
+     */
+    kir::JitBackend &jit() { return jit_; }
     /** The one worker pool every sharing session multiplexes onto. */
     const std::shared_ptr<kir::WorkerPool> &pool() const
     {
@@ -162,6 +170,7 @@ class SharedContext
 
     rt::MachineConfig machine_;
     kir::JitCompiler compiler_;
+    kir::JitBackend jit_;
     Memoizer memo_;
     TraceCache traceCache_;
     std::shared_ptr<kir::WorkerPool> pool_;

@@ -1,0 +1,260 @@
+#include "artifact_cache.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace diffuse {
+namespace kir {
+
+namespace {
+
+/** mkdir -p: create every missing component of `path`. */
+bool
+makeDirs(const std::string &path)
+{
+    std::string prefix;
+    prefix.reserve(path.size());
+    for (std::size_t i = 0; i <= path.size(); i++) {
+        if (i < path.size() && path[i] != '/') {
+            prefix.push_back(path[i]);
+            continue;
+        }
+        if (i < path.size())
+            prefix.push_back('/');
+        if (prefix.empty() || prefix == "/")
+            continue;
+        if (mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    struct stat st;
+    return stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/** Can this process create files in `dir`? Probe with a real create. */
+bool
+dirWritable(const std::string &dir)
+{
+    std::string probe = dir + "/.diffuse_probe." +
+                        std::to_string((unsigned long)getpid());
+    int fd = open(probe.c_str(), O_CREAT | O_WRONLY | O_EXCL, 0644);
+    if (fd < 0)
+        return false;
+    close(fd);
+    unlink(probe.c_str());
+    return true;
+}
+
+} // namespace
+
+ArtifactCache::ArtifactCache(Config config)
+    : dir_(std::move(config.dir)),
+      maxBytes_(config.maxMB > 0 ? config.maxMB * (1ll << 20) : 0)
+{
+    if (dir_.empty())
+        return;
+    while (dir_.size() > 1 && dir_.back() == '/')
+        dir_.pop_back();
+    if (makeDirs(dir_) && dirWritable(dir_)) {
+        persistent_ = true;
+        return;
+    }
+    diffuse_warn("artifact cache: directory '%s' is not writable; "
+                 "degrading to in-process scratch (artifacts will not "
+                 "persist)",
+                 dir_.c_str());
+}
+
+ArtifactCache::~ArtifactCache()
+{
+    // Best-effort scratch cleanup: everything in it is ours.
+    if (scratch_.empty())
+        return;
+    if (DIR *d = opendir(scratch_.c_str())) {
+        while (struct dirent *e = readdir(d)) {
+            if (std::strcmp(e->d_name, ".") == 0 ||
+                std::strcmp(e->d_name, "..") == 0)
+                continue;
+            std::string p = scratch_ + "/" + e->d_name;
+            unlink(p.c_str());
+        }
+        closedir(d);
+    }
+    rmdir(scratch_.c_str());
+}
+
+std::string
+ArtifactCache::artifactPath(const std::string &name) const
+{
+    return dir_ + "/" + name + ".so";
+}
+
+std::string
+ArtifactCache::digestPath(const std::string &name) const
+{
+    return dir_ + "/" + name + ".sum";
+}
+
+bool
+ArtifactCache::lookup(const std::string &name)
+{
+    if (!persistent_)
+        return false;
+    std::string path = artifactPath(name);
+    struct stat st;
+    if (stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+        return false;
+    // Touch the LRU clock; failure to touch is not failure to hit.
+    utimes(path.c_str(), nullptr);
+    return true;
+}
+
+bool
+ArtifactCache::publish(const std::string &tmp_path,
+                       const std::string &name)
+{
+    if (!persistent_) {
+        unlink(tmp_path.c_str());
+        return false;
+    }
+    std::string path = artifactPath(name);
+    if (rename(tmp_path.c_str(), path.c_str()) != 0) {
+        diffuse_warn("artifact cache: publishing '%s' failed: %s",
+                     path.c_str(), std::strerror(errno));
+        unlink(tmp_path.c_str());
+        return false;
+    }
+    if (maxBytes_ > 0) {
+        std::lock_guard<std::mutex> g(mutex_);
+        evictToCap();
+    }
+    return true;
+}
+
+void
+ArtifactCache::remove(const std::string &name)
+{
+    if (persistent_) {
+        unlink(artifactPath(name).c_str());
+        unlink(digestPath(name).c_str());
+    }
+}
+
+ArtifactCache::Lock &
+ArtifactCache::Lock::operator=(Lock &&o) noexcept
+{
+    if (this != &o) {
+        if (fd_ >= 0) {
+            flock(fd_, LOCK_UN);
+            close(fd_);
+        }
+        fd_ = o.fd_;
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+ArtifactCache::Lock::~Lock()
+{
+    if (fd_ >= 0) {
+        flock(fd_, LOCK_UN);
+        close(fd_);
+    }
+}
+
+ArtifactCache::Lock
+ArtifactCache::lockFor(const std::string &name)
+{
+    if (!persistent_)
+        return Lock();
+    std::string path = dir_ + "/" + name + ".lock";
+    int fd = open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd < 0)
+        return Lock(); // degraded: compile unserialized, still correct
+    if (flock(fd, LOCK_EX) != 0) {
+        close(fd);
+        return Lock();
+    }
+    return Lock(fd);
+}
+
+const std::string &
+ArtifactCache::scratchDir()
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    if (scratch_.empty()) {
+        const char *base = getenv("TMPDIR");
+        std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                           "/diffuse-jit-XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (mkdtemp(buf.data()) != nullptr)
+            scratch_ = buf.data();
+        else
+            scratch_ = "."; // last resort; compiles may still work
+    }
+    return scratch_;
+}
+
+void
+ArtifactCache::evictToCap()
+{
+    struct Entry
+    {
+        std::string path;
+        long long size;
+        time_t mtime;
+    };
+    std::vector<Entry> entries;
+    long long total = 0;
+    DIR *d = opendir(dir_.c_str());
+    if (d == nullptr)
+        return;
+    while (struct dirent *e = readdir(d)) {
+        std::string n = e->d_name;
+        if (n.size() < 3 || n.compare(n.size() - 3, 3, ".so") != 0)
+            continue;
+        std::string p = dir_ + "/" + n;
+        struct stat st;
+        if (stat(p.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+            continue;
+        entries.push_back({p, (long long)st.st_size, st.st_mtime});
+        total += (long long)st.st_size;
+    }
+    closedir(d);
+    if (total <= maxBytes_)
+        return;
+    // Oldest mtime first (hits touch, so this is LRU order).
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    for (const Entry &en : entries) {
+        if (total <= maxBytes_)
+            break;
+        if (unlink(en.path.c_str()) == 0) {
+            total -= en.size;
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+            // The digest sidecar rides along with its object.
+            std::string sum =
+                en.path.substr(0, en.path.size() - 3) + ".sum";
+            unlink(sum.c_str());
+        }
+    }
+}
+
+} // namespace kir
+} // namespace diffuse

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Persistent on-disk cache of JIT-compiled kernel artifacts.
+ *
+ * Stores compiled shared objects under a user-supplied directory
+ * (`DIFFUSE_CACHE_DIR`) so a cold process starts warm: the backend
+ * looks an artifact up by content-derived name before invoking the
+ * toolchain, and publishes freshly compiled objects for future
+ * processes. The cache is safe against concurrent processes and
+ * corrupted entries by construction:
+ *
+ *  - writes go to a temporary name in the cache directory and
+ *    rename(2) into place, so a reader can never observe a partial
+ *    artifact;
+ *  - compilation of one key is serialized across processes with an
+ *    advisory flock(2) on a per-key lock file — losers block briefly,
+ *    re-check, and load the winner's artifact;
+ *  - total size is capped (`DIFFUSE_CACHE_MAX_MB`) with LRU eviction
+ *    by modification time (hits touch mtime);
+ *  - an unwritable or uncreatable directory degrades to a per-process
+ *    scratch directory with one warning — never an error.
+ *
+ * Validation of an artifact's *content* (build fingerprint, key
+ * collision, truncation) is the backend's job: a digest sidecar
+ * (`name`.sum) is verified with plain reads BEFORE dlopen — a
+ * truncated mapping would SIGBUS on access, so corrupted files must
+ * never reach the loader — and every generated object additionally
+ * embeds its full combined key as a symbol, checked after dlopen
+ * (src/kernel/codegen.cc). The cache only provides atomic, locked,
+ * size-capped file storage.
+ */
+
+#ifndef DIFFUSE_KERNEL_ARTIFACT_CACHE_H
+#define DIFFUSE_KERNEL_ARTIFACT_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace diffuse {
+namespace kir {
+
+class ArtifactCache
+{
+  public:
+    struct Config
+    {
+        /** Cache directory; empty selects scratch-only mode. */
+        std::string dir;
+        /** Size cap in MiB for LRU eviction (<= 0: uncapped). */
+        long long maxMB = 0;
+    };
+
+    explicit ArtifactCache(Config config);
+    ~ArtifactCache();
+
+    ArtifactCache(const ArtifactCache &) = delete;
+    ArtifactCache &operator=(const ArtifactCache &) = delete;
+
+    /**
+     * True when a persistent directory is configured and writable.
+     * False in scratch-only mode (no dir configured, or the dir could
+     * not be created/written — the degraded mode).
+     */
+    bool persistent() const { return persistent_; }
+
+    /** Full path of `name`.so in the persistent directory. */
+    std::string artifactPath(const std::string &name) const;
+
+    /** Full path of the `name`.sum digest sidecar. */
+    std::string digestPath(const std::string &name) const;
+
+    /**
+     * Probe for a published artifact. On a hit, touches the mtime (the
+     * LRU clock) and returns true. Scratch-only mode never hits.
+     */
+    bool lookup(const std::string &name);
+
+    /**
+     * Publish a compiled object: rename `tmp_path` (which must be in
+     * the cache directory) atomically onto `name`.so, then enforce the
+     * size cap. Returns false (and unlinks `tmp_path`) on failure.
+     */
+    bool publish(const std::string &tmp_path, const std::string &name);
+
+    /** Unlink a rejected artifact and its digest sidecar. */
+    void remove(const std::string &name);
+
+    /**
+     * Advisory cross-process lock for compiling `name`: blocks on an
+     * exclusive flock of `name`.lock in the cache directory. Unlocks
+     * on destruction. A default-constructed / scratch-mode guard holds
+     * nothing.
+     */
+    class Lock
+    {
+      public:
+        Lock() = default;
+        explicit Lock(int fd) : fd_(fd) {}
+        Lock(Lock &&o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+        Lock &operator=(Lock &&o) noexcept;
+        ~Lock();
+        Lock(const Lock &) = delete;
+        Lock &operator=(const Lock &) = delete;
+
+      private:
+        int fd_ = -1;
+    };
+    Lock lockFor(const std::string &name);
+
+    /**
+     * Per-process scratch directory (created lazily, removed in the
+     * destructor): compile workspace for .c sources and the artifact
+     * home in scratch-only mode.
+     */
+    const std::string &scratchDir();
+
+    std::uint64_t evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void evictToCap();
+
+    std::string dir_;
+    long long maxBytes_ = 0;
+    bool persistent_ = false;
+    std::mutex mutex_; ///< guards scratch creation and eviction scans
+    std::string scratch_;
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace kir
+} // namespace diffuse
+
+#endif // DIFFUSE_KERNEL_ARTIFACT_CACHE_H

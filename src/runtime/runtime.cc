@@ -1046,7 +1046,8 @@ LowRuntime::executeRetired(const LaunchedTask &task)
                 executors_[0].runScalar(fn, b, task.scalars);
             else
                 executors_[0].run(fn, *task.kernel->plan, b,
-                                  task.scalars);
+                                  task.scalars,
+                                  task.kernel->jit.get());
         }
         return;
     }
@@ -1134,7 +1135,8 @@ LowRuntime::executeSharded(
     for (int p = 0; p < np; p++) {
         prepare(p, scratch);
         pointCtxs_[std::size_t(p)].bind(fn, plan, scratch,
-                                        task.scalars);
+                                        task.scalars,
+                                        task.kernel->jit.get());
     }
 
     // Nests execute in order with a barrier between them (a later nest
@@ -1281,7 +1283,8 @@ LowRuntime::executeBatchedCompute(const LaunchedTask &task,
                                                         task.scalars);
             else
                 executors_[std::size_t(slot)].run(
-                    fn, *task.kernel->plan, b, task.scalars);
+                    fn, *task.kernel->plan, b, task.scalars,
+                    task.kernel->jit.get());
         };
     } else {
         // Sequential reference semantics: this member's points run in
@@ -1299,7 +1302,8 @@ LowRuntime::executeBatchedCompute(const LaunchedTask &task,
                         fn, b, task.scalars);
                 else
                     executors_[std::size_t(slot)].run(
-                        fn, *task.kernel->plan, b, task.scalars);
+                        fn, *task.kernel->plan, b, task.scalars,
+                        task.kernel->jit.get());
             }
         };
     }

@@ -59,6 +59,10 @@ struct StressConfig
      * trace epoch coalesce their point-tasks into one combined pool
      * job. 0 is the unbatched oracle. */
     int batch = 0;
+    /** Native JIT codegen: concurrent cold sessions race the backend
+     * on the same kernel keys (exactly-once attach under the shard
+     * locks). 0 is the interpreter oracle. */
+    int jit = 0;
 
     std::string
     label() const
@@ -66,7 +70,8 @@ struct StressConfig
         return "w" + std::to_string(workers) + "/r" +
                std::to_string(ranks) + "/t" + std::to_string(trace) +
                "/s" + std::to_string(sharedCache) + "/p" +
-               std::to_string(pipeline) + "/b" + std::to_string(batch);
+               std::to_string(pipeline) + "/b" + std::to_string(batch) +
+               "/j" + std::to_string(jit);
     }
 };
 
@@ -81,6 +86,7 @@ optionsFor(const StressConfig &cfg)
     o.sharedCache = cfg.sharedCache;
     o.pipeline = cfg.pipeline;
     o.batch = cfg.batch;
+    o.jit = cfg.jit;
     return o;
 }
 
@@ -292,6 +298,10 @@ TEST(ConcurrencyStress, SmokeMixedSessionsBitwiseEqualSerialReference)
         {8, 1, 0, 1, 1},    // pipelined without the trace layer
         {8, 1, 1, 1, 0, 1}, // batched replay (racing the coalescer)
         {8, 2, 1, 1, 1, 1}, // batched + pipelined over workers x ranks
+        // Native JIT over the heavy config: concurrent cold sessions
+        // race the backend's exactly-once attach, then dispatch the
+        // same compiled modules.
+        {8, 2, 1, 1, 1, 0, 1},
     };
     runMatrix(configs, 4, 2);
 }
